@@ -1,0 +1,53 @@
+"""Figure 2: thttpd average transfer bandwidth, native vs Virtual Ghost.
+
+Paper: "the impact of Virtual Ghost on the Web transfer bandwidth is
+negligible" for every file size from 1 KB to 1 MB (ApacheBench, 100
+concurrent connections). Shape assertions: the bandwidth reduction stays
+under 10% at every size and under 3% at 64 KB and above.
+"""
+
+from repro.analysis.results import Table, percent_reduction
+from repro.core.config import VGConfig
+from repro.workloads.webserver import FILE_SIZES, run_thttpd_bandwidth
+
+from benchmarks.conftest import run_once, scale
+
+
+def _run():
+    requests = 8 * scale()
+    series = []
+    for size in FILE_SIZES:
+        native = run_thttpd_bandwidth(VGConfig.native(), size=size,
+                                      requests=requests)
+        vg = run_thttpd_bandwidth(VGConfig.virtual_ghost(), size=size,
+                                  requests=requests)
+        series.append((size, native.kb_per_sec, vg.kb_per_sec))
+    return series
+
+
+def test_fig2_thttpd_bandwidth(benchmark):
+    series = run_once(benchmark, _run)
+
+    table = Table(title="Figure 2: thttpd average bandwidth (KB/s)",
+                  headers=["File Size", "Native", "Virtual Ghost",
+                           "Reduction"])
+    for size, native_bw, vg_bw in series:
+        table.add(_size_label(size), f"{native_bw:,.0f}",
+                  f"{vg_bw:,.0f}",
+                  f"{percent_reduction(vg_bw, native_bw):.1f}%")
+    table.print()
+
+    for size, native_bw, vg_bw in series:
+        reduction = percent_reduction(vg_bw, native_bw)
+        assert reduction < 10.0, f"size {size}: {reduction:.1f}%"
+        if size >= 65536:
+            assert reduction < 3.0, f"size {size}: {reduction:.1f}%"
+    # bandwidth rises with file size (per-request costs amortize)
+    natives = [bw for _, bw, _ in series]
+    assert natives[-1] > natives[0]
+
+
+def _size_label(size: int) -> str:
+    if size >= 1048576:
+        return f"{size // 1048576} MB"
+    return f"{size // 1024} KB"

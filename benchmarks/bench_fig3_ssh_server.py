@@ -1,0 +1,55 @@
+"""Figure 3: SSH server (sshd) average transfer rate.
+
+Paper: "bandwidth reductions of 23% on average, with a worst case of
+45%, and negligible slowdowns for large file sizes" -- the non-ghosting
+sshd on the Virtual Ghost kernel vs native, single scp stream. Shape:
+small files show a visible (10-50%) reduction, 1 MB transfers are within
+5%, and the reduction decreases monotonically-ish with size.
+"""
+
+from repro.analysis.results import Table, percent_reduction
+from repro.core.config import VGConfig
+from repro.workloads.ssh_transfer import FILE_SIZES, run_sshd_bandwidth
+
+from benchmarks.conftest import run_once, scale
+
+
+def _run():
+    transfers = 4 * scale()
+    series = []
+    for size in FILE_SIZES:
+        native = run_sshd_bandwidth(VGConfig.native(), size=size,
+                                    transfers=transfers)
+        vg = run_sshd_bandwidth(VGConfig.virtual_ghost(), size=size,
+                                transfers=transfers)
+        series.append((size, native.kb_per_sec, vg.kb_per_sec))
+    return series
+
+
+def test_fig3_sshd_transfer_rate(benchmark):
+    series = run_once(benchmark, _run)
+
+    table = Table(title="Figure 3: SSH server average transfer rate "
+                        "(KB/s)",
+                  headers=["File Size", "Native", "Virtual Ghost",
+                           "Reduction"])
+    reductions = []
+    for size, native_bw, vg_bw in series:
+        reduction = percent_reduction(vg_bw, native_bw)
+        reductions.append((size, reduction))
+        table.add(_size_label(size), f"{native_bw:,.0f}",
+                  f"{vg_bw:,.0f}", f"{reduction:.1f}%")
+    table.print()
+
+    smallest, largest = reductions[0][1], reductions[-1][1]
+    assert 10.0 < smallest < 50.0          # visible hit on small files
+    assert largest < 5.0                   # negligible at 1 MB
+    assert smallest > largest              # reduction shrinks with size
+    average = sum(r for _, r in reductions) / len(reductions)
+    assert average < 30.0                  # paper: 23% average
+
+
+def _size_label(size: int) -> str:
+    if size >= 1048576:
+        return f"{size // 1048576} MB"
+    return f"{size // 1024} KB"

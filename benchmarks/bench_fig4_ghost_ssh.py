@@ -1,0 +1,52 @@
+"""Figure 4: ghosting SSH client average transfer rate.
+
+Paper: both clients run on the Virtual Ghost kernel; the ghosting client
+(heap in ghost memory, wrapper-staged I/O) loses at most 5% bandwidth
+against the unmodified client. Shape: reduction <= ~8% at every size.
+"""
+
+from repro.analysis.results import Table, percent_reduction
+from repro.core.config import VGConfig
+from repro.workloads.ssh_transfer import (FILE_SIZES,
+                                          run_ssh_client_bandwidth)
+
+from benchmarks.conftest import run_once, scale
+
+
+def _run():
+    transfers = 3 * scale()
+    config = VGConfig.virtual_ghost()
+    series = []
+    for size in FILE_SIZES:
+        plain = run_ssh_client_bandwidth(config, size=size,
+                                         ghosting=False,
+                                         transfers=transfers)
+        ghosting = run_ssh_client_bandwidth(config, size=size,
+                                            ghosting=True,
+                                            transfers=transfers)
+        series.append((size, plain.kb_per_sec, ghosting.kb_per_sec))
+    return series
+
+
+def test_fig4_ghosting_ssh_client(benchmark):
+    series = run_once(benchmark, _run)
+
+    table = Table(title="Figure 4: ghosting SSH client transfer rate "
+                        "(KB/s, both on the Virtual Ghost kernel)",
+                  headers=["File Size", "Original SSH", "Ghosting SSH",
+                           "Reduction"])
+    for size, plain_bw, ghost_bw in series:
+        table.add(_size_label(size), f"{plain_bw:,.0f}",
+                  f"{ghost_bw:,.0f}",
+                  f"{percent_reduction(ghost_bw, plain_bw):.1f}%")
+    table.print()
+
+    for size, plain_bw, ghost_bw in series:
+        reduction = percent_reduction(ghost_bw, plain_bw)
+        assert reduction < 8.0, f"size {size}: {reduction:.1f}%"
+
+
+def _size_label(size: int) -> str:
+    if size >= 1048576:
+        return f"{size // 1048576} MB"
+    return f"{size // 1024} KB"

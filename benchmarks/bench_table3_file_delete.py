@@ -1,0 +1,51 @@
+"""Table 3: LMBench files deleted per second.
+
+Paper: native 449,706..455,306/s, Virtual Ghost 99,372..100,357/s --
+overhead 4.43x-4.61x, flat across file sizes (deletion never touches
+file data). Shape: flat 3.5-5.5x at every size.
+"""
+
+from repro.analysis.results import Table
+from repro.baselines.inktag import InkTagModel
+from repro.core.config import VGConfig
+from repro.workloads.files import FILE_SIZES, run_file_churn
+
+from benchmarks.conftest import run_once, scale
+
+PAPER = {0: 4.61, 1024: 4.52, 4096: 4.52, 10240: 4.43}
+
+
+def _run():
+    count = 48 * scale()
+    results = {}
+    for size in FILE_SIZES:
+        native = run_file_churn(VGConfig.native(), size=size, count=count)
+        vg = run_file_churn(VGConfig.virtual_ghost(), size=size,
+                            count=count)
+        inktag_x = InkTagModel().slowdown(native.delete_metrics)
+        results[size] = (native.deleted_per_sec, vg.deleted_per_sec,
+                         native.deleted_per_sec / vg.deleted_per_sec,
+                         inktag_x)
+    return results
+
+
+def test_table3_files_deleted_per_second(benchmark):
+    results = run_once(benchmark, _run)
+
+    table = Table(title="Table 3: files deleted per second",
+                  headers=["File Size", "Native", "Virtual Ghost",
+                           "Overhead", "paper", "InkTag(model)"])
+    for size, (native_rate, vg_rate, ratio, inktag_x) in results.items():
+        table.add(f"{size // 1024} KB" if size else "0 KB",
+                  f"{native_rate:,.0f}", f"{vg_rate:,.0f}",
+                  f"{ratio:.2f}x", f"{PAPER[size]:.2f}x",
+                  f"{inktag_x:.2f}x")
+    table.print()
+
+    ratios = [r for _, _, r, _ in results.values()]
+    assert all(3.5 < r < 5.5 for r in ratios)
+    # flat across sizes: spread under 20%
+    assert max(ratios) / min(ratios) < 1.2
+    # the paper: InkTag beats Virtual Ghost on file deletion
+    for _, _, vg_ratio, inktag_x in results.values():
+        assert inktag_x < vg_ratio

@@ -1,0 +1,54 @@
+"""Table 4: LMBench files created per second.
+
+Paper: native 85,319..156,276/s, Virtual Ghost 18,095..33,777/s --
+overhead 4.63x-5.21x. Creation writes the file data too, so rates drop
+with size; the ratio stays high because the FS write path is just as
+instrumented as the metadata path. Shape: 3.5-5.5x everywhere, rates
+monotonically non-increasing with size.
+"""
+
+from repro.analysis.results import Table
+from repro.baselines.inktag import InkTagModel
+from repro.core.config import VGConfig
+from repro.workloads.files import FILE_SIZES, run_file_churn
+
+from benchmarks.conftest import run_once, scale
+
+PAPER = {0: 4.63, 1024: 5.21, 4096: 5.19, 10240: 4.71}
+
+
+def _run():
+    count = 48 * scale()
+    results = {}
+    for size in FILE_SIZES:
+        native = run_file_churn(VGConfig.native(), size=size, count=count)
+        vg = run_file_churn(VGConfig.virtual_ghost(), size=size,
+                            count=count)
+        inktag_x = InkTagModel().slowdown(native.create_metrics)
+        results[size] = (native.created_per_sec, vg.created_per_sec,
+                         native.created_per_sec / vg.created_per_sec,
+                         inktag_x)
+    return results
+
+
+def test_table4_files_created_per_second(benchmark):
+    results = run_once(benchmark, _run)
+
+    table = Table(title="Table 4: files created per second",
+                  headers=["File Size", "Native", "Virtual Ghost",
+                           "Overhead", "paper", "InkTag(model)"])
+    for size, (native_rate, vg_rate, ratio, inktag_x) in results.items():
+        table.add(f"{size // 1024} KB" if size else "0 KB",
+                  f"{native_rate:,.0f}", f"{vg_rate:,.0f}",
+                  f"{ratio:.2f}x", f"{PAPER[size]:.2f}x",
+                  f"{inktag_x:.2f}x")
+    table.print()
+
+    ratios = [r for _, _, r, _ in results.values()]
+    assert all(3.0 < r < 5.5 for r in ratios)
+    # rates fall (or hold) as sizes grow
+    rates = [native for native, *_ in results.values()]
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+    # InkTag beats Virtual Ghost on creation (paper section 8.1)
+    for _, _, vg_ratio, inktag_x in results.values():
+        assert inktag_x < vg_ratio

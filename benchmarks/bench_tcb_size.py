@@ -1,0 +1,40 @@
+"""Section 5: Trusted Computing Base size.
+
+Paper: "Virtual Ghost currently includes only 5,344 source lines of code
+... the SVA VM run-time system and the passes that we added to the
+compiler." We report the analogous accounting for this reproduction: the
+trusted components (repro.core, the instrumentation passes, codegen /
+interpreter / verifier, crypto) vs the untrusted bulk (kernel, userland,
+attacks, workloads). Shape: the TCB is a small fraction of the system.
+"""
+
+from repro.analysis.results import Table
+from repro.analysis.tcb import count_tcb_sloc, count_untrusted_sloc
+
+from benchmarks.conftest import run_once
+
+PAPER_TCB_SLOC = 5344
+
+
+def test_tcb_size(benchmark):
+    tcb, untrusted = run_once(
+        benchmark, lambda: (count_tcb_sloc(), count_untrusted_sloc()))
+
+    table = Table(title="TCB accounting (source lines, comments/blanks "
+                        "excluded)",
+                  headers=["Component", "SLOC", "Trusted"])
+    for name, sloc in tcb.items():
+        if name != "total":
+            table.add(name, sloc, "yes")
+    for name, sloc in untrusted.items():
+        if name != "total":
+            table.add(name, sloc, "no")
+    table.add("TCB total", tcb["total"], "yes")
+    table.add("untrusted total", untrusted["total"], "no")
+    table.add("(paper TCB)", PAPER_TCB_SLOC, "")
+    table.print()
+
+    # same order of magnitude as the paper's 5,344 SLOC
+    assert 2_000 < tcb["total"] < 15_000
+    # the untrusted system dwarfs the TCB
+    assert untrusted["total"] > 1.5 * tcb["total"]

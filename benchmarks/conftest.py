@@ -1,0 +1,42 @@
+"""Benchmark harness configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one of the paper's tables or figures: it runs
+the workload under the native and Virtual Ghost configurations (and the
+InkTag model where the paper compares), prints the paper-style rows, and
+asserts the headline *shape* (who wins, roughly by what factor).
+
+Timing note: the numbers in the printed tables are **simulated time**
+(deterministic; variance is exactly zero). pytest-benchmark's wall-clock
+column measures how long the simulation takes to run on the host, which
+is not an experimental result.
+
+Set ``REPRO_BENCH_SCALE`` (default 1) to scale iteration counts up for
+longer, smoother runs.
+"""
+
+import os
+
+import pytest
+
+
+def scale() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+@pytest.fixture
+def bench_scale() -> int:
+    return scale()
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer.
+
+    Simulated results are deterministic, so multiple rounds only waste
+    host time; ``pedantic`` mode pins it to a single round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1,
+                              warmup_rounds=0)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: boot a Virtual Ghost system and protect a secret.
+
+Demonstrates the core loop in ~60 lines of application code:
+
+1. boot a simulated machine with the Virtual Ghost kernel,
+2. run an application that places a secret in **ghost memory**,
+3. show the application itself can use the secret freely,
+4. show the kernel -- with supervisor privilege and the page mapped --
+   reads only zeros through its instrumented accesses,
+5. show the trusted services: ``sva.getKey`` and trusted randomness.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import System, VGConfig
+from repro.core.layout import Region, classify
+from repro.kernel.proc import Program
+
+
+class SecretKeeper(Program):
+    """Allocates ghost memory, stashes a secret, uses trusted services."""
+
+    program_id = "secret-keeper-1.0"
+
+    def __init__(self):
+        self.secret_addr = 0
+        self.report = {}
+
+    def main(self, env):
+        # The modified libc places the heap in ghost memory.
+        heap = env.malloc_init(use_ghost=True)
+
+        secret = b"credit-card=4242-4242-4242-4242"
+        self.secret_addr = heap.store(secret)
+        self.report["region"] = classify(self.secret_addr).value
+
+        # The application reads its own ghost memory freely.
+        self.report["self_read"] = env.mem_read(self.secret_addr,
+                                                len(secret))
+
+        # Trusted services: the per-application key (decrypted from the
+        # signed executable by the VM) and OS-independent randomness.
+        self.report["app_key"] = env.get_app_key().hex()
+        self.report["random"] = env.sva_random(8).hex()
+
+        # Ordinary system calls still work -- this is a normal process.
+        yield from env.sys_getpid()
+        return 0
+
+
+def main():
+    print("=== Virtual Ghost quickstart ===\n")
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    keeper = SecretKeeper()
+    system.install("/bin/keeper", keeper)
+
+    proc = system.spawn("/bin/keeper")
+    status = system.run_until_exit(proc)
+    print(f"application exited with status {status}")
+    print(f"secret lives in the '{keeper.report['region']}' partition "
+          f"at {keeper.secret_addr:#x}")
+    print(f"application's own read : {keeper.report['self_read']!r}")
+    print(f"application key (sva.getKey)  : {keeper.report['app_key']}")
+    print(f"trusted randomness (sva)      : {keeper.report['random']}")
+
+    # Now the hostile part: kernel code, at supervisor privilege, with
+    # the page still mapped, tries to read the same address. The
+    # load/store sandboxing redirects the access into the unmapped dead
+    # zone -- the kernel sees zeros.
+    kernel_view = system.kernel.ctx.read_virt(keeper.secret_addr, 31)
+    print(f"\nkernel's view of the secret   : {kernel_view!r}")
+    print(f"masked kernel accesses so far : "
+          f"{system.kernel.ctx.masked_accesses}")
+
+    assert keeper.report["self_read"].startswith(b"credit-card")
+    assert kernel_view == bytes(31)
+    print("\nOK: the application computed on its secret; "
+          "the OS never saw a byte of it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Section 7 reproduction: the rootkit vs ssh-agent, on both kernels.
+
+A malicious kernel module (written in the compiler's IR, loaded through
+the same toolchain as any driver) replaces the read() system-call
+handler and attacks a victim process holding a secret:
+
+* attack 1 -- read the secret directly out of the victim's memory and
+  print it to the system log;
+* attack 2 -- mmap a buffer in the victim, copy exploit code into it,
+  open an output file in the victim's fd table, point a signal handler
+  at the exploit, send the signal: the exploit runs *as the victim* and
+  writes the secret to disk.
+
+Expected output (the paper's Table-free result): both attacks succeed on
+the native kernel; both fail under Virtual Ghost with the victim
+continuing unaffected.
+
+Run:  python examples/rootkit_defense.py
+"""
+
+from repro import System, VGConfig
+from repro.attacks.rootkit import STEAL_BYTES, RootkitAttack
+from repro.kernel.proc import Program
+from repro.userland.apps.ssh_agent import SECRET_STRING
+from repro.userland.libc import O_RDONLY
+
+SECRET = SECRET_STRING.ljust(STEAL_BYTES, b".")
+
+
+class Agent(Program):
+    """Victim: a secret in the heap, then ordinary reads from a file."""
+
+    program_id = "mini-agent"
+
+    def __init__(self):
+        self.secret_addr = 0
+        self.reads = 0
+        self.intact = None
+
+    def main(self, env):
+        heap = env.malloc_init(use_ghost=env.ghost_available)
+        self.secret_addr = heap.store(SECRET)
+        yield from env.sys_sched_yield()
+        buf = env.kernel.vmm.mmap(env.proc.aspace, 0, 4096, 3, 1)
+        fd = yield from env.sys_open("/inbox.txt", O_RDONLY)
+        for _ in range(5):
+            yield from env.sys_read(fd, buf, 64)
+            yield from env.sys_lseek(fd, 0, 0)
+            self.reads += 1
+        self.intact = env.mem_read(self.secret_addr,
+                                   len(SECRET)) == SECRET
+        yield from env.sys_close(fd)
+        return 0
+
+
+def run_case(config_name, config, mode):
+    system = System.create(config, memory_mb=48)
+    system.write_file("/inbox.txt", b"mail " * 40)
+    agent = Agent()
+    system.install("/bin/agent", agent)
+    attack = RootkitAttack(system.kernel)
+
+    proc = system.spawn("/bin/agent")
+    system.run(until=lambda: agent.secret_addr != 0, max_slices=100_000)
+    attack.arm(proc, agent.secret_addr, mode)
+    status = system.run_until_exit(proc, max_slices=1_000_000)
+    result = attack.result(proc, SECRET, mode)
+
+    mode_name = "direct read" if mode == 1 else "code injection"
+    verdict = "STOLEN" if result.succeeded else "protected"
+    print(f"  {config_name:14} {mode_name:15} -> secret {verdict:9}  "
+          f"(victim: {agent.reads} reads done, "
+          f"exit {status}, secret intact: {agent.intact})")
+    return result
+
+
+def main():
+    print("=== Rootkit vs ssh-agent (paper section 7) ===\n")
+    outcomes = {}
+    for config_name, config in (("native", VGConfig.native()),
+                                ("virtual ghost",
+                                 VGConfig.virtual_ghost())):
+        for mode in (RootkitAttack.MODE_DIRECT,
+                     RootkitAttack.MODE_INJECT):
+            outcomes[(config_name, mode)] = run_case(config_name, config,
+                                                     mode)
+
+    print("\nSummary:")
+    assert outcomes[("native", 1)].succeeded
+    assert outcomes[("native", 2)].succeeded
+    assert not outcomes[("virtual ghost", 1)].succeeded
+    assert not outcomes[("virtual ghost", 2)].succeeded
+    print("  native kernel      : both attacks succeed "
+          "(log leak / file exfiltration)")
+    print("  virtual ghost      : both attacks fail; "
+          "ssh-agent continues execution unaffected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""The OpenSSH suite (paper section 6): a cooperating application suite
+sharing encrypted storage on a hostile OS.
+
+Steps:
+
+1. ``ssh-keygen`` generates an RSA authentication key pair with trusted
+   randomness; the private key is written to disk encrypted under the
+   *shared application key*, the public key in the clear.
+2. The OS (played by us) inspects the key file: ciphertext only. It
+   tries to tamper with it -- the suite detects this on next load.
+3. ``ssh-agent`` loads the key into its ghost heap and serves signing
+   requests over a local socket.
+4. ``ssh`` authenticates to a remote host using the key and downloads a
+   file over the session-encrypted channel.
+
+Run:  python examples/secure_keystore.py
+"""
+
+from repro import System, VGConfig
+from repro.kernel.proc import Program
+from repro.userland.apps.ssh import RemoteSshServer, SshClient
+from repro.userland.apps.ssh_agent import AGENT_PORT, SshAgent
+from repro.userland.apps.ssh_keygen import SshKeygen
+from repro.userland.apps.sshkeys import deserialize_public
+from repro.userland.loader import derive_app_key
+from repro.userland.wrappers import GhostWrappers
+
+SUITE_KEY = derive_app_key("example-openssh-suite")
+
+
+class AgentDriver(Program):
+    """Asks the agent to sign a challenge, then stops it."""
+
+    program_id = "agent-driver"
+
+    def __init__(self, challenge: bytes):
+        self.challenge = challenge
+        self.signature = b""
+
+    def main(self, env):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        fd = yield from env.sys_connect("localhost", AGENT_PORT)
+        yield from wrappers.write_bytes(fd, b"SIGN")
+        yield from wrappers.write_bytes(fd, self.challenge)
+        self.signature = yield from wrappers.read_bytes(fd, 64)
+        yield from env.sys_close(fd)
+        fd = yield from env.sys_connect("localhost", AGENT_PORT)
+        yield from wrappers.write_bytes(fd, b"STOP")
+        yield from env.sys_close(fd)
+        return 0
+
+
+def main():
+    print("=== Secure keystore: the OpenSSH suite on Virtual Ghost "
+          "===\n")
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=64)
+    agent = SshAgent()
+    client = SshClient(ghosting=True)
+    system.install("/bin/ssh-keygen", SshKeygen(), app_key=SUITE_KEY)
+    system.install("/bin/ssh-agent", agent, app_key=SUITE_KEY)
+    system.install("/bin/ssh", client, app_key=SUITE_KEY)
+
+    # 1. key generation
+    proc = system.spawn("/bin/ssh-keygen", argv=("/id_rsa",))
+    assert system.run_until_exit(proc) == 0
+    print("[keygen] wrote /id_rsa (encrypted) and /id_rsa.pub")
+
+    # 2. the OS looks at the file
+    raw = system.read_file("/id_rsa")
+    print(f"[os]     /id_rsa starts with {raw[:24].hex()}... "
+          f"({len(raw)} bytes of ciphertext)")
+    assert b"PRIV" not in raw
+
+    # 3. agent signs a challenge with the decrypted key
+    agent_proc = system.spawn("/bin/ssh-agent", argv=("/id_rsa",))
+    challenge = b"\x42" * 32
+    driver = AgentDriver(challenge)
+    system.install("/bin/driver", driver, app_key=SUITE_KEY)
+    driver_proc = system.spawn("/bin/driver")
+    system.run_until_exit(driver_proc, max_slices=2_000_000)
+    system.run_until_exit(agent_proc, max_slices=2_000_000)
+
+    public = deserialize_public(system.read_file("/id_rsa.pub"))
+    assert public.verify(challenge, driver.signature)
+    print(f"[agent]  loaded {agent.keys_loaded} key(s) into ghost "
+          f"memory; signature verified against the public key")
+
+    # 4. ssh authenticates and downloads
+    contents = b"The quick brown fox. " * 1500
+    server = RemoteSshServer({"notes.txt": contents})
+    server.client_public = public
+    system.kernel.net.register_remote_service("backup-host", 22,
+                                              lambda: server)
+    ssh_proc = system.spawn(
+        "/bin/ssh", argv=("backup-host", 22, "notes.txt", "/id_rsa"))
+    assert system.run_until_exit(ssh_proc, max_slices=4_000_000) == 0
+    print(f"[ssh]    authenticated (challenge/response) and received "
+          f"{client.bytes_received:,} bytes")
+
+    # 5. the OS tampers with the key file; the suite detects it
+    tampered = bytearray(raw)
+    tampered[30] ^= 0xFF
+    system.write_file("/id_rsa", bytes(tampered))
+    agent2 = SshAgent()
+    system.install("/bin/ssh-agent2", agent2, app_key=SUITE_KEY)
+    agent2_proc = system.spawn("/bin/ssh-agent2", argv=("/id_rsa",))
+    system.run(until=lambda: agent2.running, max_slices=2_000_000)
+    print(f"[os]     tampered with /id_rsa -> agent now loads "
+          f"{agent2.keys_loaded} key(s) (corruption detected, "
+          f"key rejected)")
+    assert agent2.keys_loaded == 0
+    # stop the second agent
+    stopper = AgentDriver(b"\x00" * 32)
+    system.install("/bin/stopper", stopper, app_key=SUITE_KEY)
+    # a STOP is enough; the SIGN request returns nothing (no keys)
+    stop_proc = system.spawn("/bin/stopper")
+    system.run(max_slices=2_000_000)
+
+    print("\nOK: keys generated, stored encrypted, served from ghost "
+          "memory, used for authentication; tampering detected.")
+
+
+if __name__ == "__main__":
+    main()

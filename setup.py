@@ -1,0 +1,10 @@
+"""Legacy setup shim (offline environments without PEP 660 support)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

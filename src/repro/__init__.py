@@ -1,0 +1,20 @@
+"""Virtual Ghost (ASPLOS 2014) reproduction.
+
+Protecting applications from a hostile operating system with compiler
+instrumentation (load/store sandboxing + CFI) and a thin hardware
+abstraction layer (SVA-OS) -- reproduced on a fully simulated machine.
+
+Quick start::
+
+    from repro import System, VGConfig
+
+    system = System.create(VGConfig.virtual_ghost())
+
+See README.md for the tour and DESIGN.md for the architecture map.
+"""
+
+from repro.core.config import VGConfig
+from repro.system import System
+
+__version__ = "1.0.0"
+__all__ = ["System", "VGConfig", "__version__"]

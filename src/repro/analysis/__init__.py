@@ -1,0 +1,8 @@
+"""Result formatting and reporting for the benchmark harness."""
+
+from repro.analysis.results import (Table, format_table, percent_reduction,
+                                    ratio)
+from repro.analysis.tcb import count_tcb_sloc
+
+__all__ = ["Table", "format_table", "ratio", "percent_reduction",
+           "count_tcb_sloc"]

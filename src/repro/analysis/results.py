@@ -1,0 +1,79 @@
+"""Paper-style result tables.
+
+The benchmark harness prints rows shaped like the paper's tables; these
+helpers keep the formatting consistent and the arithmetic in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def ratio(measured: float, baseline: float) -> float:
+    """Slowdown factor (measured over baseline)."""
+    if baseline == 0:
+        return float("inf")
+    return measured / baseline
+
+
+def percent_reduction(measured: float, baseline: float) -> float:
+    """Bandwidth reduction in percent (positive = slower than baseline)."""
+    if baseline == 0:
+        return 0.0
+    return (1.0 - measured / baseline) * 100.0
+
+
+@dataclass
+class Table:
+    """A printable table with a title and aligned columns."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add(self, *cells) -> None:
+        self.rows.append([_format_cell(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title,
+                 "  ".join(h.ljust(w) for h, w in zip(self.headers,
+                                                      widths)),
+                 "  ".join("-" * w for w in widths)]
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(width) if _numeric(cell)
+                                   else cell.ljust(width)
+                                   for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+        print()
+
+
+def format_table(title: str, headers: list[str],
+                 rows: list[list]) -> str:
+    table = Table(title=title, headers=headers)
+    for row in rows:
+        table.add(*row)
+    return table.render()
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        if cell >= 1000:
+            return f"{cell:,.0f}"
+        if cell >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("x", "")
+    stripped = stripped.replace("%", "").replace("-", "").replace("+", "")
+    return stripped.isdigit()

@@ -1,0 +1,23 @@
+"""Attacks: the paper's section 7 rootkit and the section 2.2 vectors.
+
+Every attack here is runnable against both kernel configurations; tests
+assert that each succeeds on the native baseline and fails (with the
+victim unharmed) under Virtual Ghost.
+
+* :mod:`repro.attacks.rootkit` -- the malicious read()-hook module with
+  the direct-read and signal-handler code-injection attacks (section 7).
+* :mod:`repro.attacks.mmu_attack` -- map ghost frames / remap code pages
+  through the MMU (section 2.2.1).
+* :mod:`repro.attacks.dma_attack` -- exfiltrate ghost frames via device
+  DMA and IOMMU reconfiguration (section 2.2.1).
+* :mod:`repro.attacks.icontext_attack` -- read/modify interrupted program
+  state (section 2.2.4).
+* :mod:`repro.attacks.iago` -- Iago attacks through mmap and /dev/random
+  (sections 2.2.5, 4.7).
+* :mod:`repro.attacks.code_patch` -- tamper with signed translations and
+  application executables (section 2.2.3).
+"""
+
+from repro.attacks.rootkit import RootkitAttack
+
+__all__ = ["RootkitAttack"]

@@ -1,0 +1,65 @@
+"""Code-modification attacks (section 2.2.3).
+
+* Tamper with a signed translation's native code -- the VM verifies the
+  translation signature before building an execution engine and refuses.
+* Load application code whose signature does not match -- exec refuses
+  (the wrong-code-at-startup attack of section 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ir import Imm
+from repro.errors import SecurityViolation, SignatureError
+from repro.kernel.kernel import Kernel
+
+_PATCH_TARGET_SOURCE = """
+module patchme
+
+func @answer() {
+entry:
+  ret 42
+}
+"""
+
+
+@dataclass
+class CodePatchResult:
+    tampered_translation_rejected: bool
+    observed_return: int | None
+
+
+def patch_translated_module(kernel: Kernel) -> CodePatchResult:
+    """Flip an instruction in a translated module, then try to run it."""
+    vm = kernel.vm
+    image = vm.translate_module(_PATCH_TARGET_SOURCE)
+    # the attacker edits the native code after translation/signing:
+    function = image.functions["answer"]
+    for insn in function.insns:
+        if insn.opcode in ("ret", "cfi_ret") and insn.operands:
+            insn.operands[0] = Imm(666)
+    try:
+        interp = vm.make_interpreter(image, kernel.ctx.port, externs={},
+                                     stack_top=kernel.vmm.kalloc_stack()
+                                     + 4 * 4096)
+    except SignatureError:
+        return CodePatchResult(tampered_translation_rejected=True,
+                               observed_return=None)
+    return CodePatchResult(tampered_translation_rejected=False,
+                           observed_return=interp.run("answer", []))
+
+
+@dataclass
+class ExecTamperResult:
+    exec_refused: bool
+
+
+def exec_tampered_binary(kernel: Kernel, path: str) -> ExecTamperResult:
+    """Spawn an executable whose code no longer matches its signature
+    (install it with repro.userland.loader.install_tampered_program)."""
+    try:
+        kernel.spawn(path)
+    except SecurityViolation:
+        return ExecTamperResult(exec_refused=True)
+    return ExecTamperResult(exec_refused=False)

@@ -1,0 +1,65 @@
+"""DMA attacks (section 2.2.1): exfiltrate ghost frames through a device.
+
+Two stages, like a real driver-level attacker:
+
+1. Program the disk to DMA a ghost frame out to a scratch sector. Under
+   Virtual Ghost the IOMMU (configured by SVA) rejects the transfer.
+2. First reconfigure the IOMMU to allow the frame -- but the only path to
+   the IOMMU's configuration ports is ``sva.io.write``, which refuses to
+   forward IOMMU commands from the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IOMMUFault, SecurityViolation
+from repro.hardware.iommu import CMD_ALLOW, IOMMU_PORT_BASE
+from repro.kernel.kernel import Kernel
+
+_SCRATCH_LBA = 512
+
+
+@dataclass
+class DMAAttackResult:
+    dma_blocked: bool
+    reconfig_blocked: bool
+    leaked: bytes
+
+
+def dma_out_ghost_frame(kernel: Kernel, frame: int) -> DMAAttackResult:
+    """Attempt the DMA transfer directly."""
+    machine = kernel.machine
+    try:
+        machine.disk.dma_write_from(machine.dma, frame * 4096,
+                                    _SCRATCH_LBA, 8)
+    except IOMMUFault:
+        return DMAAttackResult(dma_blocked=True, reconfig_blocked=False,
+                               leaked=b"")
+    leaked = machine.disk.read_sectors(_SCRATCH_LBA, 8)
+    return DMAAttackResult(dma_blocked=False, reconfig_blocked=False,
+                           leaked=leaked)
+
+
+def reconfigure_iommu_then_dma(kernel: Kernel,
+                               frame: int) -> DMAAttackResult:
+    """Attempt to open the IOMMU first (via the SVA I/O instructions --
+    the only way the ported kernel can reach I/O ports)."""
+    machine = kernel.machine
+    reconfig_blocked = False
+    try:
+        kernel.vm.io_write(IOMMU_PORT_BASE + 1, frame)   # operand: frame
+        kernel.vm.io_write(IOMMU_PORT_BASE, CMD_ALLOW)   # command: allow
+    except SecurityViolation:
+        reconfig_blocked = True
+    try:
+        machine.disk.dma_write_from(machine.dma, frame * 4096,
+                                    _SCRATCH_LBA, 8)
+    except IOMMUFault:
+        return DMAAttackResult(dma_blocked=True,
+                               reconfig_blocked=reconfig_blocked,
+                               leaked=b"")
+    leaked = machine.disk.read_sectors(_SCRATCH_LBA, 8)
+    return DMAAttackResult(dma_blocked=False,
+                           reconfig_blocked=reconfig_blocked,
+                           leaked=leaked)

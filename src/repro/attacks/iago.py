@@ -1,0 +1,114 @@
+"""Iago attacks (sections 2.2.5 and 4.7): malicious system-call results.
+
+Two of the attacks the paper defends against:
+
+* **mmap into ghost memory** -- the kernel returns a pointer into the
+  application's own ghost partition from mmap(); a naive application then
+  writes attacker-chosen data over its own secrets (or its stack). The
+  Virtual Ghost compiler's mmap-mask pass rewrites the returned pointer
+  with the same bit-masking arithmetic as the kernel sandboxing, moving
+  it out of ghost memory before the application can dereference it.
+
+* **rigged /dev/random** -- the kernel returns constant "randomness",
+  destroying key generation. Applications on Virtual Ghost use the
+  trusted ``sva_random`` instruction instead, which the OS cannot see or
+  influence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.codegen import NativeImage
+from repro.compiler.parser import parse_module
+from repro.compiler.passes.mmap_mask import MmapMaskPass
+from repro.compiler.verifier import verify_module
+from repro.core.layout import GHOST_START, mask_address
+from repro.kernel.kernel import Kernel
+
+#: Application code that calls mmap and stores a byte through the result
+#: -- the victim of the mmap Iago attack. Compiled as *application* code
+#: (the mmap-mask pass, not the kernel pipeline).
+IAGO_VICTIM_SOURCE = """
+module iago_victim
+
+extern @mmap/2
+
+func @use_mmap(%hint, %len) {
+entry:
+  %p = call @mmap(%hint, %len)
+  store8 65, %p
+  ret %p
+}
+"""
+
+
+@dataclass
+class IagoResult:
+    returned_pointer: int        # what mmap returned (attacker-chosen)
+    used_pointer: int            # what the app actually dereferenced
+    ghost_write_prevented: bool
+
+
+def run_mmap_iago(kernel: Kernel, *, instrument: bool) -> IagoResult:
+    """Execute the victim against a hostile mmap that returns a ghost
+    pointer; report where the store actually landed."""
+    evil_pointer = GHOST_START + 0x2000
+    observed = {}
+
+    module = parse_module(IAGO_VICTIM_SOURCE)
+    verify_module(module)
+    if instrument:
+        MmapMaskPass().run(module)
+
+    from repro.compiler.codegen import CodeGenerator
+    image: NativeImage = CodeGenerator(0x0000_7000_0000,
+                                       0x0000_7100_0000).generate(module)
+
+    class _RecordingPort:
+        def load(self, addr, width):
+            return 0
+
+        def store(self, addr, width, value):
+            observed["store_addr"] = addr
+
+        def copy(self, dst, src, length):
+            pass
+
+        def fill(self, dst, byte, length):
+            pass
+
+    def evil_mmap(args):
+        return evil_pointer
+
+    from repro.compiler.interp import Interpreter
+    interp = Interpreter(image, _RecordingPort(), kernel.machine.clock,
+                         externs={"mmap": evil_mmap},
+                         stack_top=0x0000_7200_0000)
+    used = interp.run("use_mmap", [0, 4096])
+
+    store_addr = observed.get("store_addr", 0)
+    prevented = store_addr == mask_address(evil_pointer) \
+        and store_addr != evil_pointer if instrument \
+        else store_addr != evil_pointer
+    return IagoResult(returned_pointer=evil_pointer, used_pointer=used,
+                      ghost_write_prevented=store_addr != evil_pointer)
+
+
+@dataclass
+class RandomIagoResult:
+    os_random_constant: bool     # the subverted device returned constants
+    sva_random_unaffected: bool
+
+
+def run_random_iago(kernel: Kernel) -> RandomIagoResult:
+    """Subvert /dev/random to return all-zero bytes; check the trusted
+    RNG still produces varied output."""
+    kernel.devfs.random.subversion = lambda n: bytes(n)
+    rigged = kernel.devfs.random.read(0, 32)
+    trusted_a = kernel.vm.sva_random(32)
+    trusted_b = kernel.vm.sva_random(32)
+    return RandomIagoResult(
+        os_random_constant=rigged == bytes(32),
+        sva_random_unaffected=(trusted_a != bytes(32)
+                               and trusted_a != trusted_b))

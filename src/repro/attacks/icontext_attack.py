@@ -1,0 +1,54 @@
+"""Interrupted-program-state attacks (section 2.2.4).
+
+When the Interrupt Context lives on the kernel stack (the native
+baseline), a hostile kernel can:
+
+* read the saved registers to glean secrets a program held in registers
+  when it trapped;
+* rewrite the saved program counter so the return-from-trap resumes the
+  application inside attacker-chosen code.
+
+Under Virtual Ghost the IST points the hardware's trap save into
+SVA-internal memory; the kernel-stack copy simply does not exist (reads
+return zeros, writes change nothing the hardware will ever reload), and
+registers are scrubbed before the kernel runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.icontext import InterruptContext
+from repro.hardware.cpu import GPR_NAMES
+from repro.kernel.kernel import Kernel
+from repro.kernel.proc import Thread
+
+
+@dataclass
+class ICAttackResult:
+    leaked_value: int            # what the attacker saw in the saved reg
+    hijacked: bool               # did the PC rewrite take effect?
+
+
+def _kstack_ic_addr(kernel: Kernel, thread: Thread) -> int:
+    return thread.kstack_top - 2 * InterruptContext.SERIALIZED_SIZE
+
+
+def read_saved_register(kernel: Kernel, thread: Thread,
+                        register: str) -> int:
+    """Kernel code reads a register out of the on-stack trap frame.
+
+    Must be called while the thread is inside a trap (between
+    ``trap_enter`` and ``trap_exit``) -- e.g. from a syscall hook.
+    """
+    addr = _kstack_ic_addr(kernel, thread)
+    index = GPR_NAMES.index(register)
+    return kernel.ctx.port.load(addr + index * 8, 8)
+
+
+def overwrite_saved_pc(kernel: Kernel, thread: Thread,
+                       new_pc: int) -> None:
+    """Kernel code rewrites the saved RIP in the on-stack trap frame."""
+    addr = _kstack_ic_addr(kernel, thread)
+    rip_offset = len(GPR_NAMES) * 8
+    kernel.ctx.port.store(addr + rip_offset, 8, new_pc)

@@ -1,0 +1,72 @@
+"""MMU attacks (section 2.2.1): remap ghost frames into kernel memory.
+
+A hostile kernel controls the page tables -- except that under Virtual
+Ghost every update goes through the SVA-OS MMU operations, whose checks
+refuse to (a) map a ghost frame anywhere, (b) modify a ghost-partition
+virtual address, (c) remap or write-enable code pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.layout import GHOST_START, KERNEL_HEAP_START
+from repro.errors import SecurityViolation
+from repro.kernel.kernel import Kernel
+from repro.kernel.proc import Process
+
+
+@dataclass
+class MMUAttackResult:
+    denied: bool
+    leaked: bytes
+
+
+def map_ghost_frame_into_kernel(kernel: Kernel, victim: Process,
+                                secret_vaddr: int) -> MMUAttackResult:
+    """The OS maps the frame backing a victim's ghost page at a kernel
+    address and reads it there. Native: works. Virtual Ghost: refused."""
+    vm = kernel.vm
+    frame = vm.ghosts.frame_for(victim.pid, secret_vaddr)
+    if frame is None:
+        # Non-ghosting victim: find the frame through the address space.
+        from repro.core.layout import page_of
+        frame = victim.aspace.resident.get(page_of(secret_vaddr))
+    if frame is None:
+        raise ValueError("victim has no page at the given address")
+
+    window = KERNEL_HEAP_START + 0x3000_0000          # attacker's window
+    try:
+        vm.mmu_map_page(kernel.kernel_root, window, frame,
+                        writable=False, user=False)
+    except SecurityViolation:
+        return MMUAttackResult(denied=True, leaked=b"")
+    offset = secret_vaddr % 4096
+    leaked = kernel.ctx.port.read_bytes(window + offset, 64)
+    vm.mmu_unmap_page(kernel.kernel_root, window)
+    return MMUAttackResult(denied=False, leaked=leaked)
+
+
+def remap_ghost_vaddr(kernel: Kernel, victim: Process,
+                      attacker_frame: int) -> MMUAttackResult:
+    """The OS maps a frame it controls *over* a ghost virtual address,
+    substituting data under the application (write path of 2.2.1)."""
+    vm = kernel.vm
+    target = GHOST_START + 0x1000
+    try:
+        vm.mmu_map_page(victim.aspace.root, target, attacker_frame,
+                        writable=True, user=True)
+    except SecurityViolation:
+        return MMUAttackResult(denied=True, leaked=b"")
+    return MMUAttackResult(denied=False, leaked=b"")
+
+
+def make_code_page_writable(kernel: Kernel, frame: int,
+                            vaddr: int) -> MMUAttackResult:
+    """The OS tries to write-enable a native-code page (section 4.5)."""
+    try:
+        kernel.vm.mmu_protect(kernel.kernel_root, vaddr, writable=True,
+                              user=False)
+    except SecurityViolation:
+        return MMUAttackResult(denied=True, leaked=b"")
+    return MMUAttackResult(denied=False, leaked=b"")

@@ -1,0 +1,217 @@
+"""The section-7 rootkit: a malicious kernel module hooking read().
+
+Based on the paper's module (Joseph Kong's BSD-rootkit style): it replaces
+the ``read`` system-call handler and mounts one of two attacks on a
+configured victim process while the victim reads from a file descriptor:
+
+* **Attack 1 (direct read)** -- load the victim's secret straight out of
+  its memory and print it to the system log. Under Virtual Ghost the
+  sandboxing instrumentation masks the loads; the module logs garbage
+  ("the kernel simply reads unknown data out of its own address space").
+
+* **Attack 2 (code injection via signal dispatch)** -- mmap a buffer in
+  the victim, copy exploit code into it, open an output file in the
+  victim's descriptor table, point a signal handler at the exploit, and
+  send the signal. The exploit then runs *as the victim* and writes the
+  secret out. Under Virtual Ghost, ``sva.ipush.function`` refuses the
+  unregistered handler target and the victim continues untouched.
+
+The module body is genuine IR compiled through the Virtual Ghost pipeline
+(or uninstrumented on the native baseline). The injected exploit's
+*behaviour* is bound to its bytes through the kernel's shellcode registry
+(see :meth:`~repro.kernel.kernel.Kernel.standard_externs` /
+``copy_to_proc``): wherever those bytes land and later gain control, the
+registered payload runs. This is the simulation's stand-in for machine
+code in an mmap'ed buffer (DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.modules import KernelModule
+from repro.kernel.proc import Process
+from repro.kernel.syscalls.table import SYS
+
+#: How many bytes of secret the module exfiltrates.
+STEAL_BYTES = 48
+
+#: First bytes of the module's exploit code (its "signature").
+SHELLCODE_MAGIC = b"\x90\x90shellcode"
+
+OUTPUT_PATH = "/stolen.txt"
+
+ROOTKIT_SOURCE = """
+module rootkit
+
+extern @klog/2
+extern @cur_pid/0
+extern @orig_read/3
+extern @proc_mmap/2
+extern @copy_to_proc/4
+extern @set_sighandler/3
+extern @send_signal/2
+extern @open_into_proc/3
+
+global @target_pid 8
+global @target_addr 8
+global @attack_mode 8            # 0 = off, 1 = direct read, 2 = injection
+global @attack_done 8
+global @stolen 64
+global @outpath 16 = "/stolen.txt"
+global @exploit_code 64 = "\\x90\\x90shellcode-stand-in"
+
+# The replacement read() handler (hooked over SYS_read).
+func @evil_read(%fd, %buf, %len) {
+entry:
+  %mode = load8 @attack_mode
+  %off = icmp eq %mode, 0
+  condbr %off, passthru, armed
+armed:
+  %pid = call @cur_pid()
+  %tgt = load8 @target_pid
+  %hit = icmp eq %pid, %tgt
+  condbr %hit, fire_once, passthru
+fire_once:
+  %done = load8 @attack_done
+  %already = icmp ne %done, 0
+  condbr %already, passthru, fire
+fire:
+  store8 1, @attack_done
+  %m1 = icmp eq %mode, 1
+  condbr %m1, direct, inject
+direct:
+  %r1 = call @steal_direct()
+  br passthru
+inject:
+  %r2 = call @inject_exploit()
+  br passthru
+passthru:
+  %ret = call @orig_read(%fd, %buf, %len)
+  ret %ret
+}
+
+# Attack 1: read the secret with plain loads and log it.
+func @steal_direct() {
+entry:
+  %addr = load8 @target_addr
+  %base = mov @stolen
+  %i = mov 0
+  br loop
+loop:
+  %done = icmp uge %i, 48
+  condbr %done, logit, body
+body:
+  %src = add %addr, %i
+  %v = load8 %src
+  %dst = add %base, %i
+  store8 %v, %dst
+  %i = add %i, 8
+  br loop
+logit:
+  %r = call @klog(@stolen, 48)
+  ret 0
+}
+
+# Attack 2: plant exploit code in the victim and fire it via a signal.
+func @inject_exploit() {
+entry:
+  %pid = load8 @target_pid
+  %buf = call @proc_mmap(%pid, 4096)
+  %ok = icmp ne %buf, 0
+  condbr %ok, plant, fail
+plant:
+  %r1 = call @copy_to_proc(%pid, %buf, @exploit_code, 64)
+  %fd = call @open_into_proc(%pid, @outpath, 577)
+  %r2 = call @set_sighandler(%pid, 12, %buf)
+  %r3 = call @send_signal(%pid, 12)
+  ret %buf
+fail:
+  ret 0
+}
+"""
+
+
+@dataclass
+class AttackResult:
+    mode: int
+    console_leak: bool          # attack 1: secret visible in system log
+    file_leak: bool             # attack 2: secret written to /stolen.txt
+    victim_alive: bool
+    exploit_ran: bool
+
+    @property
+    def succeeded(self) -> bool:
+        return self.console_leak or self.file_leak
+
+
+class RootkitAttack:
+    """Drives the malicious module against a victim process."""
+
+    MODE_DIRECT = 1
+    MODE_INJECT = 2
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.module: KernelModule = kernel.loader.load(ROOTKIT_SOURCE)
+        kernel.loader.install_syscall_hook(self.module, SYS["read"],
+                                           "evil_read")
+        self.exploit_ran = False
+        self._secret_addr = 0
+        kernel.shellcode_registry[SHELLCODE_MAGIC] = self._exploit_payload
+
+    # -- configuration (the paper: configurable by a non-privileged user;
+    # modeled by poking the module's globals) ---------------------------------
+
+    def arm(self, victim: Process, secret_addr: int, mode: int) -> None:
+        self._secret_addr = secret_addr
+        self.exploit_ran = False
+        port = self.kernel.ctx.port
+        port.store(self.module.global_addr("target_pid"), 8, victim.pid)
+        port.store(self.module.global_addr("target_addr"), 8, secret_addr)
+        port.store(self.module.global_addr("attack_done"), 8, 0)
+        port.store(self.module.global_addr("attack_mode"), 8, mode)
+
+    def disarm(self) -> None:
+        port = self.kernel.ctx.port
+        port.store(self.module.global_addr("attack_mode"), 8, 0)
+
+    # -- the injected code's behaviour ---------------------------------------------
+
+    def _exploit_payload(self, proc: Process, code_addr: int):
+        """Returns the generator function for shellcode copied to
+        ``code_addr`` in ``proc`` -- runs as the victim when (if) control
+        reaches that address."""
+        attack = self
+
+        def exploit(env, *args):
+            attack.exploit_ran = True
+            staging = code_addr + 1024          # same mmap'ed page range
+            secret = env.mem_read(attack._secret_addr, STEAL_BYTES)
+            env.mem_write(staging, secret)
+            out_fd = max(env.proc.fds)          # fd the module opened
+            yield from env.sys_write(out_fd, staging, STEAL_BYTES)
+            return 0
+
+        return exploit
+
+    # -- outcome inspection ----------------------------------------------------------
+
+    def result(self, victim: Process, secret: bytes, mode: int
+               ) -> AttackResult:
+        needle = secret[:16].decode("latin-1", "replace")
+        console_leak = any(needle in line
+                           for line in self.kernel.machine.console.lines)
+        file_leak = False
+        try:
+            vnode, _ = self.kernel.vfs.resolve(OUTPUT_PATH)
+            contents = vnode.read(0, vnode.size)
+            file_leak = secret[:min(STEAL_BYTES, len(secret))] in contents
+        except SyscallError:
+            pass
+        return AttackResult(mode=mode, console_leak=console_leak,
+                            file_leak=file_leak,
+                            victim_alive=not victim.is_zombie,
+                            exploit_ran=self.exploit_ran)

@@ -1,0 +1,9 @@
+"""Comparison baselines.
+
+:mod:`repro.baselines.inktag` models InkTag, the hypervisor-based
+shadowing system Table 2 compares against.
+"""
+
+from repro.baselines.inktag import InkTagModel, RunMetrics
+
+__all__ = ["InkTagModel", "RunMetrics"]

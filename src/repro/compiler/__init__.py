@@ -1,0 +1,40 @@
+"""The Virtual Ghost compiler toolchain (the paper's modified LLVM).
+
+All operating-system code -- the core kernel's loadable modules included --
+must pass through this toolchain before it can execute. The pipeline is:
+
+  textual IR  --parse-->  :class:`~repro.compiler.ir.Module`
+              --verify--> (structural checks)
+              --passes--> load/store sandboxing + CFI instrumentation
+              --codegen-> signed native code
+              --interp--> execution with cycle accounting
+
+The two instrumentation passes implement the paper's core mechanism:
+
+* :mod:`repro.compiler.passes.sandbox` inserts a ``vgmask`` before every
+  load, store, memcpy and memset so that kernel code physically cannot
+  address ghost memory or SVA-internal memory (section 4.3.1).
+* :mod:`repro.compiler.passes.cfi` labels function entries and return
+  sites and rewrites ``ret``/``callind`` into checked forms, so the
+  sandboxing cannot be jumped over (section 4.3.1, Zeng et al. style).
+
+A third pass, :mod:`repro.compiler.passes.mmap_mask`, is applied to
+*application* code: it masks the return value of ``mmap`` so Iago attacks
+cannot trick a process into writing through a pointer into its own ghost
+memory (section 5).
+"""
+
+from repro.compiler.ir import (BasicBlock, Function, GlobalVar, Instruction,
+                               Module)
+from repro.compiler.builder import IRBuilder
+from repro.compiler.parser import parse_module
+from repro.compiler.verifier import verify_module
+from repro.compiler.codegen import CodeGenerator, NativeImage
+from repro.compiler.interp import ExecutionLimits, Interpreter, MemoryPort
+
+__all__ = [
+    "Module", "Function", "BasicBlock", "Instruction", "GlobalVar",
+    "IRBuilder", "parse_module", "verify_module",
+    "CodeGenerator", "NativeImage", "Interpreter", "MemoryPort",
+    "ExecutionLimits",
+]

@@ -1,0 +1,151 @@
+"""IRBuilder: programmatic construction of IR modules.
+
+Most OS modules in this repository are written in the textual syntax and
+parsed, but generated code (e.g. the syscall-wrapper instrumentation the
+mmap-mask pass tests build) uses the builder.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (BasicBlock, FuncRef, Function, GlobalRef,
+                               GlobalVar, Imm, Instruction, Module, Operand,
+                               Reg)
+from repro.errors import CompilerError
+
+
+def _as_operand(value) -> Operand:
+    if isinstance(value, (Reg, Imm, GlobalRef, FuncRef)):
+        return value
+    if isinstance(value, int):
+        return Imm(value)
+    if isinstance(value, str):
+        return Reg(value)
+    raise CompilerError(f"cannot convert {value!r} to an operand")
+
+
+class IRBuilder:
+    """Builds one function at a time inside a module."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.function: Function | None = None
+        self.block: BasicBlock | None = None
+        self._counter = 0
+
+    # -- structure -------------------------------------------------------------
+
+    def new_function(self, name: str, params: list[str]) -> Function:
+        self.function = self.module.add_function(
+            Function(name=name, params=list(params)))
+        self.block = None
+        return self.function
+
+    def new_block(self, label: str | None = None) -> BasicBlock:
+        if self.function is None:
+            raise CompilerError("no current function")
+        if label is None:
+            label = self.fresh(prefix="bb")
+        if label in self.function.block_labels():
+            raise CompilerError(f"duplicate block label {label!r}")
+        self.block = BasicBlock(label=label)
+        self.function.blocks.append(self.block)
+        return self.block
+
+    def set_block(self, label: str) -> BasicBlock:
+        if self.function is None:
+            raise CompilerError("no current function")
+        self.block = self.function.block(label)
+        return self.block
+
+    def global_var(self, name: str, size: int, init: bytes = b"") -> GlobalRef:
+        self.module.add_global(GlobalVar(name=name, size=size, init=init))
+        return GlobalRef(name)
+
+    def fresh(self, prefix: str = "t") -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    # -- emission ----------------------------------------------------------------
+
+    def emit(self, insn: Instruction) -> Instruction:
+        if self.block is None:
+            raise CompilerError("no current block")
+        if self.block.terminator is not None:
+            raise CompilerError(
+                f"block {self.block.label!r} already terminated")
+        self.block.append(insn)
+        return insn
+
+    def _value_op(self, opcode: str, *operands, predicate=None) -> Reg:
+        result = self.fresh()
+        self.emit(Instruction(opcode=opcode, result=result,
+                              operands=[_as_operand(o) for o in operands],
+                              predicate=predicate))
+        return Reg(result)
+
+    # Arithmetic / logic
+    def add(self, a, b) -> Reg: return self._value_op("add", a, b)
+    def sub(self, a, b) -> Reg: return self._value_op("sub", a, b)
+    def mul(self, a, b) -> Reg: return self._value_op("mul", a, b)
+    def udiv(self, a, b) -> Reg: return self._value_op("udiv", a, b)
+    def and_(self, a, b) -> Reg: return self._value_op("and", a, b)
+    def or_(self, a, b) -> Reg: return self._value_op("or", a, b)
+    def xor(self, a, b) -> Reg: return self._value_op("xor", a, b)
+    def shl(self, a, b) -> Reg: return self._value_op("shl", a, b)
+    def lshr(self, a, b) -> Reg: return self._value_op("lshr", a, b)
+    def mov(self, a) -> Reg: return self._value_op("mov", a)
+
+    def icmp(self, predicate: str, a, b) -> Reg:
+        return self._value_op("icmp", a, b, predicate=predicate)
+
+    def select(self, cond, a, b) -> Reg:
+        return self._value_op("select", cond, a, b)
+
+    # Memory
+    def load(self, addr, width: int = 8) -> Reg:
+        return self._value_op(f"load{width}", addr)
+
+    def store(self, value, addr, width: int = 8) -> None:
+        self.emit(Instruction(opcode=f"store{width}",
+                              operands=[_as_operand(value),
+                                        _as_operand(addr)]))
+
+    def alloca(self, size: int) -> Reg:
+        return self._value_op("alloca", Imm(size))
+
+    def memcpy(self, dst, src, length) -> None:
+        self.emit(Instruction(opcode="memcpy",
+                              operands=[_as_operand(dst), _as_operand(src),
+                                        _as_operand(length)]))
+
+    def memset(self, dst, byte, length) -> None:
+        self.emit(Instruction(opcode="memset",
+                              operands=[_as_operand(dst), _as_operand(byte),
+                                        _as_operand(length)]))
+
+    # Control flow
+    def br(self, label: str) -> None:
+        self.emit(Instruction(opcode="br", targets=[label]))
+
+    def condbr(self, cond, then_label: str, else_label: str) -> None:
+        self.emit(Instruction(opcode="condbr",
+                              operands=[_as_operand(cond)],
+                              targets=[then_label, else_label]))
+
+    def ret(self, value=None) -> None:
+        operands = [] if value is None else [_as_operand(value)]
+        self.emit(Instruction(opcode="ret", operands=operands))
+
+    def call(self, func_name: str, args) -> Reg:
+        result = self.fresh()
+        self.emit(Instruction(
+            opcode="call", result=result,
+            operands=[FuncRef(func_name)] + [_as_operand(a) for a in args]))
+        return Reg(result)
+
+    def callind(self, target, args) -> Reg:
+        result = self.fresh()
+        self.emit(Instruction(
+            opcode="callind", result=result,
+            operands=[_as_operand(target)] + [_as_operand(a) for a in args]))
+        return Reg(result)

@@ -1,0 +1,58 @@
+"""CFG and call-graph utilities used by the passes and by diagnostics."""
+
+from __future__ import annotations
+
+from repro.compiler.ir import FuncRef, Function, Module
+
+
+def successors(function: Function, label: str) -> list[str]:
+    """Labels a block can branch to (empty for ret/unreachable)."""
+    terminator = function.block(label).terminator
+    if terminator is None:
+        return []
+    return list(terminator.targets)
+
+
+def reverse_postorder(function: Function) -> list[str]:
+    """Block labels in reverse postorder from the entry block."""
+    visited: set[str] = set()
+    order: list[str] = []
+
+    def visit(label: str) -> None:
+        if label in visited:
+            return
+        visited.add(label)
+        for succ in successors(function, label):
+            visit(succ)
+        order.append(label)
+
+    visit(function.entry.label)
+    return list(reversed(order))
+
+
+def unreachable_blocks(function: Function) -> set[str]:
+    """Blocks not reachable from entry (dead code; still instrumented)."""
+    return function.block_labels() - set(reverse_postorder(function))
+
+
+def direct_callees(function: Function) -> set[str]:
+    """Names of functions called directly from ``function``."""
+    callees: set[str] = set()
+    for insn in function.instructions():
+        if insn.opcode == "call" and isinstance(insn.operands[0], FuncRef):
+            callees.add(insn.operands[0].name)
+    return callees
+
+
+def call_graph(module: Module) -> dict[str, set[str]]:
+    """Direct-call graph of a module (indirect edges are unknown --
+    the CFI pass's single-label scheme conservatively allows any function
+    entry as an indirect target, exactly as the paper's prototype does)."""
+    return {name: direct_callees(function)
+            for name, function in module.functions.items()}
+
+
+def has_indirect_transfers(function: Function) -> bool:
+    """True if the function performs indirect calls (CFI-relevant)."""
+    return any(insn.opcode in ("callind", "cfi_icall")
+               for insn in function.instructions())

@@ -1,0 +1,257 @@
+"""Intermediate representation: modules, functions, blocks, instructions.
+
+The IR is a register machine over 64-bit integers (pointers are integers,
+as after LLVM's ``ptrtoint``): virtual registers are function-local and
+mutable, like clang -O0 output, which keeps authoring and interpretation
+simple while preserving everything the instrumentation passes care about
+-- memory operations, returns, and indirect calls.
+
+Operands are one of:
+
+* ``Reg("name")``    -- a virtual register (``%name`` in the text syntax)
+* ``Imm(value)``     -- a 64-bit immediate
+* ``GlobalRef("g")`` -- address of a module global (``@g``)
+* ``FuncRef("f")``   -- address of a function (``@f`` in operand position)
+
+Memory opcodes carry their access width (1/2/4/8 bytes). The instrumenting
+passes insert the pseudo-ops ``vgmask`` (load/store sandboxing),
+``cfi_label`` and the checked control transfers ``cfi_ret``/``cfi_icall``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompilerError
+
+_U64 = (1 << 64) - 1
+
+
+# -- operands ------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Reg:
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    value: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", self.value & _U64)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class GlobalRef:
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True)
+class FuncRef:
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+Operand = Reg | Imm | GlobalRef | FuncRef
+
+
+# -- opcode sets ----------------------------------------------------------------
+
+BINARY_OPS = frozenset({
+    "add", "sub", "mul", "udiv", "urem", "sdiv",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+})
+
+ICMP_PREDICATES = frozenset({
+    "eq", "ne", "ult", "ule", "ugt", "uge", "slt", "sle", "sgt", "sge",
+})
+
+LOAD_OPS = frozenset({"load1", "load2", "load4", "load8"})
+STORE_OPS = frozenset({"store1", "store2", "store4", "store8"})
+BULK_OPS = frozenset({"memcpy", "memset"})
+
+TERMINATORS = frozenset({"br", "condbr", "ret", "cfi_ret", "unreachable"})
+
+#: Instrumentation pseudo-ops inserted by the Virtual Ghost passes.
+VG_OPS = frozenset({"vgmask", "cfi_label", "cfi_ret", "cfi_icall"})
+
+OTHER_OPS = frozenset({
+    "mov", "icmp", "select", "call", "callind", "alloca", "not",
+})
+
+ALL_OPS = (BINARY_OPS | LOAD_OPS | STORE_OPS | BULK_OPS | TERMINATORS
+           | VG_OPS | OTHER_OPS)
+
+
+@dataclass
+class Instruction:
+    """One IR instruction.
+
+    ``result`` is the destination register name (without ``%``) or None.
+    ``operands`` meaning depends on the opcode:
+
+    * binary ops / ``icmp`` (with ``predicate``): two operands
+    * ``mov``: one operand; ``not``: one operand
+    * ``loadN``: [address]; ``storeN``: [value, address]
+    * ``memcpy``: [dst, src, len]; ``memset``: [dst, byte, len]
+    * ``alloca``: [size-imm]
+    * ``br``: [] with ``targets=[label]``
+    * ``condbr``: [cond] with ``targets=[then, else]``
+    * ``call``: [FuncRef, args...]; ``callind``/``cfi_icall``: [ptr, args...]
+    * ``ret``/``cfi_ret``: [] or [value]
+    * ``select``: [cond, a, b]
+    * ``vgmask``: [address] -> result is the sandboxed address
+    * ``cfi_label``: [] (a position marker in the native image)
+    """
+
+    opcode: str
+    result: str | None = None
+    operands: list[Operand] = field(default_factory=list)
+    predicate: str | None = None       # for icmp
+    targets: list[str] = field(default_factory=list)  # for br/condbr
+
+    def __post_init__(self):
+        if self.opcode not in ALL_OPS:
+            raise CompilerError(f"unknown opcode {self.opcode!r}")
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATORS
+
+    def __str__(self) -> str:
+        parts = []
+        if self.result is not None:
+            parts.append(f"%{self.result} =")
+        parts.append(self.opcode)
+        if self.predicate:
+            parts.append(self.predicate)
+        parts.append(", ".join(str(op) for op in self.operands))
+        if self.targets:
+            parts.append("-> " + ", ".join(self.targets))
+        return " ".join(p for p in parts if p)
+
+
+@dataclass
+class BasicBlock:
+    label: str
+    instructions: list[Instruction] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def append(self, insn: Instruction) -> None:
+        self.instructions.append(insn)
+
+
+@dataclass
+class Function:
+    """A function: parameter registers plus an ordered list of blocks."""
+
+    name: str
+    params: list[str] = field(default_factory=list)
+    blocks: list[BasicBlock] = field(default_factory=list)
+
+    def block(self, label: str) -> BasicBlock:
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise CompilerError(f"no block {label!r} in @{self.name}")
+
+    def block_labels(self) -> set[str]:
+        return {blk.label for blk in self.blocks}
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise CompilerError(f"function @{self.name} has no blocks")
+        return self.blocks[0]
+
+    def instructions(self):
+        for blk in self.blocks:
+            yield from blk.instructions
+
+
+@dataclass
+class GlobalVar:
+    """A module-level data object; ``init`` is zero-extended to ``size``."""
+
+    name: str
+    size: int
+    init: bytes = b""
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise CompilerError(f"global @{self.name} has size {self.size}")
+        if len(self.init) > self.size:
+            raise CompilerError(
+                f"global @{self.name}: init longer than size")
+
+    def initial_bytes(self) -> bytes:
+        return self.init + bytes(self.size - len(self.init))
+
+
+@dataclass
+class ExternDecl:
+    """Declaration of a function provided by the host (kernel helpers)."""
+
+    name: str
+    num_params: int
+
+
+@dataclass
+class Module:
+    """A compilation unit: functions, globals, extern declarations."""
+
+    name: str
+    functions: dict[str, Function] = field(default_factory=dict)
+    globals: dict[str, GlobalVar] = field(default_factory=dict)
+    externs: dict[str, ExternDecl] = field(default_factory=dict)
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions or function.name in self.externs:
+            raise CompilerError(f"duplicate function @{function.name}")
+        self.functions[function.name] = function
+        return function
+
+    def add_global(self, var: GlobalVar) -> GlobalVar:
+        if var.name in self.globals:
+            raise CompilerError(f"duplicate global @{var.name}")
+        self.globals[var.name] = var
+        return var
+
+    def add_extern(self, name: str, num_params: int) -> None:
+        if name in self.functions or name in self.externs:
+            raise CompilerError(f"duplicate extern @{name}")
+        self.externs[name] = ExternDecl(name, num_params)
+
+    def __str__(self) -> str:
+        lines = [f"module {self.name}", ""]
+        for ext in self.externs.values():
+            lines.append(f"extern @{ext.name}/{ext.num_params}")
+        for var in self.globals.values():
+            lines.append(f"global @{var.name} {var.size}")
+        for func in self.functions.values():
+            params = ", ".join(f"%{p}" for p in func.params)
+            lines.append(f"func @{func.name}({params}) {{")
+            for blk in func.blocks:
+                lines.append(f"{blk.label}:")
+                for insn in blk.instructions:
+                    lines.append(f"  {insn}")
+            lines.append("}")
+            lines.append("")
+        return "\n".join(lines)

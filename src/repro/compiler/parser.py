@@ -1,0 +1,267 @@
+"""Parser for the textual IR syntax.
+
+The syntax is line-oriented and deliberately small; the kernel modules in
+this repository (including the rootkit of section 7) are written in it.
+
+::
+
+    module rootkit
+
+    extern @klog/2              # host-provided function, 2 params
+    global @buf 64              # 64 zero bytes
+    global @msg 6 = "hello"     # initialized data (NUL-padded to size)
+
+    func @evil_read(%fd, %ubuf, %len) {
+    entry:
+      %p = mov 0xffffff0000001000
+      %v = load8 %p
+      store8 %v, @buf
+      %r = call @klog(@buf, 8)
+      ret 0
+    }
+
+Instructions::
+
+    %r = add %a, %b            (binary ops: add sub mul udiv urem sdiv
+                                and or xor shl lshr ashr)
+    %r = icmp ult %a, %b       (predicates: eq ne ult ule ugt uge slt ...)
+    %r = select %c, %a, %b
+    %r = mov OPERAND
+    %r = not %a
+    %r = loadN ADDR            (N in 1 2 4 8)
+    storeN VALUE, ADDR
+    memcpy DST, SRC, LEN
+    memset DST, BYTE, LEN
+    %r = alloca SIZE
+    br LABEL
+    condbr %c, LABEL1, LABEL2
+    ret [OPERAND]
+    [%r =] call @f(ARGS)
+    [%r =] callind TARGET(ARGS)
+
+Operands are ``%reg``, ``@global-or-function``, or integer literals
+(decimal, hex with ``0x``, or negative). ``#`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.compiler.ir import (BINARY_OPS, BasicBlock, FuncRef, Function,
+                               GlobalRef, GlobalVar, ICMP_PREDICATES, Imm,
+                               Instruction, LOAD_OPS, Module, Operand, Reg,
+                               STORE_OPS)
+from repro.errors import IRParseError
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_.]*"
+_RE_MODULE = re.compile(rf"^module\s+({_IDENT})$")
+_RE_EXTERN = re.compile(rf"^extern\s+@({_IDENT})/(\d+)$")
+_RE_GLOBAL = re.compile(
+    rf'^global\s+@({_IDENT})\s+(\d+)(?:\s*=\s*(.+))?$')
+_RE_FUNC = re.compile(rf"^func\s+@({_IDENT})\s*\(([^)]*)\)\s*\{{$")
+_RE_LABEL = re.compile(rf"^({_IDENT}):$")
+_RE_ASSIGN = re.compile(rf"^%({_IDENT})\s*=\s*(.+)$")
+_RE_CALL = re.compile(rf"^(call|callind)\s+(\S+?)\s*\(([^)]*)\)$")
+
+
+def _parse_operand(token: str, line_number: int) -> Operand:
+    token = token.strip()
+    if token.startswith("%"):
+        return Reg(token[1:])
+    if token.startswith("@"):
+        # Function vs global is resolved later; globals win at link time,
+        # so record as GlobalRef and let the verifier/codegen decide.
+        return GlobalRef(token[1:])
+    try:
+        return Imm(int(token, 0))
+    except ValueError:
+        raise IRParseError(
+            f"line {line_number}: bad operand {token!r}") from None
+
+
+def _split_operands(text: str, line_number: int) -> list[Operand]:
+    text = text.strip()
+    if not text:
+        return []
+    return [_parse_operand(tok, line_number) for tok in text.split(",")]
+
+
+def _parse_init(text: str, size: int, line_number: int) -> bytes:
+    text = text.strip()
+    if text.startswith('"') and text.endswith('"'):
+        raw = text[1:-1].encode("utf-8").decode("unicode_escape")
+        data = raw.encode("latin-1")
+    elif text.startswith("hex:"):
+        try:
+            data = bytes.fromhex(text[4:])
+        except ValueError:
+            raise IRParseError(
+                f"line {line_number}: bad hex initializer") from None
+    else:
+        raise IRParseError(
+            f"line {line_number}: initializer must be \"...\" or hex:...")
+    if len(data) > size:
+        raise IRParseError(
+            f"line {line_number}: initializer longer than global size")
+    return data
+
+
+def _parse_instruction(result: str | None, body: str,
+                       line_number: int) -> Instruction:
+    call_match = _RE_CALL.match(body)
+    if call_match:
+        kind, target, args_text = call_match.groups()
+        args = _split_operands(args_text, line_number)
+        if kind == "call":
+            if not target.startswith("@"):
+                raise IRParseError(
+                    f"line {line_number}: call target must be @function")
+            operands: list[Operand] = [FuncRef(target[1:])] + args
+            return Instruction(opcode="call", result=result,
+                               operands=operands)
+        target_op = _parse_operand(target, line_number)
+        return Instruction(opcode="callind", result=result,
+                           operands=[target_op] + args)
+
+    parts = body.split(None, 1)
+    opcode = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+
+    if opcode == "icmp":
+        pieces = rest.split(None, 1)
+        if len(pieces) != 2 or pieces[0] not in ICMP_PREDICATES:
+            raise IRParseError(f"line {line_number}: bad icmp {rest!r}")
+        operands = _split_operands(pieces[1], line_number)
+        if len(operands) != 2:
+            raise IRParseError(f"line {line_number}: icmp needs 2 operands")
+        return Instruction(opcode="icmp", result=result, operands=operands,
+                           predicate=pieces[0])
+
+    if opcode == "br":
+        target = rest.strip()
+        if not target:
+            raise IRParseError(f"line {line_number}: br needs a label")
+        return Instruction(opcode="br", targets=[target])
+
+    if opcode == "condbr":
+        tokens = [t.strip() for t in rest.split(",")]
+        if len(tokens) != 3:
+            raise IRParseError(
+                f"line {line_number}: condbr needs cond, then, else")
+        cond = _parse_operand(tokens[0], line_number)
+        return Instruction(opcode="condbr", operands=[cond],
+                           targets=[tokens[1], tokens[2]])
+
+    if opcode == "ret":
+        operands = _split_operands(rest, line_number)
+        if len(operands) > 1:
+            raise IRParseError(f"line {line_number}: ret takes <=1 operand")
+        return Instruction(opcode="ret", operands=operands)
+
+    operands = _split_operands(rest, line_number)
+    expected = {
+        **{op: 2 for op in BINARY_OPS},
+        **{op: 1 for op in LOAD_OPS},
+        **{op: 2 for op in STORE_OPS},
+        "memcpy": 3, "memset": 3, "mov": 1, "not": 1,
+        "select": 3, "alloca": 1, "unreachable": 0,
+    }
+    if opcode not in expected:
+        raise IRParseError(f"line {line_number}: unknown opcode {opcode!r}")
+    if len(operands) != expected[opcode]:
+        raise IRParseError(
+            f"line {line_number}: {opcode} needs {expected[opcode]} "
+            f"operand(s), got {len(operands)}")
+    return Instruction(opcode=opcode, result=result, operands=operands)
+
+
+def parse_module(source: str) -> Module:
+    """Parse textual IR into a :class:`Module`; raises IRParseError."""
+    module: Module | None = None
+    current_function: Function | None = None
+    current_block: BasicBlock | None = None
+
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        if module is None:
+            match = _RE_MODULE.match(line)
+            if not match:
+                raise IRParseError(
+                    f"line {line_number}: expected 'module NAME' first")
+            module = Module(name=match.group(1))
+            continue
+
+        if current_function is None:
+            match = _RE_EXTERN.match(line)
+            if match:
+                module.add_extern(match.group(1), int(match.group(2)))
+                continue
+            match = _RE_GLOBAL.match(line)
+            if match:
+                name, size_text, init_text = match.groups()
+                size = int(size_text)
+                init = (b"" if init_text is None
+                        else _parse_init(init_text, size, line_number))
+                module.add_global(GlobalVar(name=name, size=size, init=init))
+                continue
+            match = _RE_FUNC.match(line)
+            if match:
+                name, params_text = match.groups()
+                params = []
+                for token in filter(None,
+                                    (t.strip() for t in
+                                     params_text.split(","))):
+                    if not token.startswith("%"):
+                        raise IRParseError(
+                            f"line {line_number}: parameter {token!r} "
+                            f"must start with %")
+                    params.append(token[1:])
+                current_function = Function(name=name, params=params)
+                current_block = None
+                continue
+            raise IRParseError(
+                f"line {line_number}: expected extern/global/func, "
+                f"got {line!r}")
+
+        # inside a function body
+        if line == "}":
+            if not current_function.blocks:
+                raise IRParseError(
+                    f"line {line_number}: function "
+                    f"@{current_function.name} has no blocks")
+            module.add_function(current_function)
+            current_function = None
+            current_block = None
+            continue
+
+        match = _RE_LABEL.match(line)
+        if match:
+            label = match.group(1)
+            if label in current_function.block_labels():
+                raise IRParseError(
+                    f"line {line_number}: duplicate label {label!r}")
+            current_block = BasicBlock(label=label)
+            current_function.blocks.append(current_block)
+            continue
+
+        if current_block is None:
+            raise IRParseError(
+                f"line {line_number}: instruction before any label")
+
+        match = _RE_ASSIGN.match(line)
+        if match:
+            result, body = match.groups()
+        else:
+            result, body = None, line
+        current_block.append(
+            _parse_instruction(result, body, line_number))
+
+    if module is None:
+        raise IRParseError("empty source: expected 'module NAME'")
+    if current_function is not None:
+        raise IRParseError(
+            f"unterminated function @{current_function.name} (missing '}}')")
+    return module

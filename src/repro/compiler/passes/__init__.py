@@ -1,0 +1,12 @@
+"""Compiler passes: the Virtual Ghost instrumentation and the pipelines."""
+
+from repro.compiler.passes.pipeline import (PassManager, vg_app_pipeline,
+                                            vg_kernel_pipeline)
+from repro.compiler.passes.sandbox import SandboxPass
+from repro.compiler.passes.cfi import CFIPass, CFI_LABEL_ID
+from repro.compiler.passes.mmap_mask import MmapMaskPass
+
+__all__ = [
+    "PassManager", "SandboxPass", "CFIPass", "MmapMaskPass",
+    "vg_kernel_pipeline", "vg_app_pipeline", "CFI_LABEL_ID",
+]

@@ -1,0 +1,54 @@
+"""Iago-defense pass for application code (paper section 5).
+
+A hostile kernel can return any value from ``mmap`` -- including a pointer
+into the application's own ghost memory (or its stack), tricking the app
+into overwriting its own secrets or control data (Checkoway & Shacham's
+Iago attacks). The prototype adds "identical bit-masking instrumentation
+to the return values of mmap() system calls for user-space application
+code", moving any returned ghost pointer out of ghost memory.
+
+The pass rewrites, for every call to a function in ``syscall_names``::
+
+    %r = call @mmap(...)      =>      %r = call @mmap(...)
+                                      %r = vgmask %r
+
+Clobbering ``%r`` (registers are mutable in this IR) is the point: no use
+of the result can ever observe the unmasked pointer.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import FuncRef, Function, Instruction, Module, Reg
+
+DEFAULT_SYSCALLS = frozenset({"mmap"})
+
+
+class MmapMaskPass:
+    """Mask pointer-returning syscall results in application code."""
+
+    name = "mmap_mask"
+
+    def __init__(self, syscall_names: frozenset[str] = DEFAULT_SYSCALLS):
+        self.syscall_names = syscall_names
+
+    def run(self, module: Module) -> dict[str, int]:
+        masked = 0
+        for function in module.functions.values():
+            masked += self._instrument_function(function)
+        return {"masked_returns": masked}
+
+    def _instrument_function(self, function: Function) -> int:
+        masked = 0
+        for block in function.blocks:
+            rewritten: list[Instruction] = []
+            for insn in block.instructions:
+                rewritten.append(insn)
+                if (insn.opcode == "call" and insn.result is not None
+                        and isinstance(insn.operands[0], FuncRef)
+                        and insn.operands[0].name in self.syscall_names):
+                    rewritten.append(Instruction(
+                        opcode="vgmask", result=insn.result,
+                        operands=[Reg(insn.result)]))
+                    masked += 1
+            block.instructions = rewritten
+        return masked

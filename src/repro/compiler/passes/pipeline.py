@@ -1,0 +1,45 @@
+"""Pass manager and the standard Virtual Ghost pipelines."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.compiler.ir import Module
+from repro.compiler.verifier import verify_module
+
+
+class Pass(Protocol):
+    name: str
+
+    def run(self, module: Module) -> dict[str, int]:
+        """Transform the module in place; return statistics."""
+
+
+class PassManager:
+    """Runs passes in order, re-verifying after each one."""
+
+    def __init__(self, passes: list[Pass]):
+        self.passes = list(passes)
+
+    def run(self, module: Module) -> dict[str, dict[str, int]]:
+        verify_module(module)
+        stats: dict[str, dict[str, int]] = {}
+        for pass_ in self.passes:
+            stats[pass_.name] = pass_.run(module)
+            verify_module(module)
+        return stats
+
+
+def vg_kernel_pipeline() -> PassManager:
+    """The pipeline every piece of OS code must go through (section 4.3.1):
+    load/store sandboxing, then CFI so the sandboxing cannot be bypassed."""
+    from repro.compiler.passes.cfi import CFIPass
+    from repro.compiler.passes.sandbox import SandboxPass
+    return PassManager([SandboxPass(), CFIPass()])
+
+
+def vg_app_pipeline() -> PassManager:
+    """The pipeline for ghosting *applications* (section 5): mask pointers
+    returned by mmap so Iago attacks cannot point them into ghost memory."""
+    from repro.compiler.passes.mmap_mask import MmapMaskPass
+    return PassManager([MmapMaskPass()])

@@ -1,0 +1,99 @@
+"""Structural verifier run before any module is translated.
+
+The SVA VM refuses to generate native code for a module that fails
+verification -- malformed IR is how an attacker might otherwise smuggle
+state past the instrumentation passes.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (BINARY_OPS, BULK_OPS, FuncRef, Function,
+                               GlobalRef, Imm, Instruction, LOAD_OPS, Module,
+                               Reg, STORE_OPS)
+from repro.errors import CompilerError
+
+_VALUE_OPS = (BINARY_OPS | LOAD_OPS
+              | {"icmp", "select", "mov", "not", "alloca", "vgmask"})
+_NO_RESULT_OPS = (STORE_OPS | BULK_OPS
+                  | {"br", "condbr", "ret", "cfi_ret", "unreachable",
+                     "cfi_label"})
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`CompilerError` on the first structural problem."""
+    for function in module.functions.values():
+        _verify_function(module, function)
+
+
+def _verify_function(module: Module, function: Function) -> None:
+    where = f"@{function.name}"
+    if not function.blocks:
+        raise CompilerError(f"{where}: no basic blocks")
+
+    labels = function.block_labels()
+    defined: set[str] = set(function.params)
+    for insn in function.instructions():
+        if insn.result is not None:
+            defined.add(insn.result)
+
+    for block in function.blocks:
+        if block.terminator is None:
+            raise CompilerError(
+                f"{where}:{block.label}: block lacks a terminator")
+        for position, insn in enumerate(block.instructions):
+            if insn.is_terminator and position != len(block.instructions) - 1:
+                raise CompilerError(
+                    f"{where}:{block.label}: terminator "
+                    f"{insn.opcode!r} not at block end")
+            _verify_instruction(module, function, defined, labels,
+                                block.label, insn)
+
+
+def _verify_instruction(module: Module, function: Function,
+                        defined: set[str], labels: set[str],
+                        block_label: str, insn: Instruction) -> None:
+    where = f"@{function.name}:{block_label}"
+
+    if insn.opcode in _VALUE_OPS and insn.result is None:
+        raise CompilerError(f"{where}: {insn.opcode} must have a result")
+    if insn.opcode in _NO_RESULT_OPS and insn.result is not None:
+        raise CompilerError(f"{where}: {insn.opcode} cannot have a result")
+
+    for target in insn.targets:
+        if target not in labels:
+            raise CompilerError(
+                f"{where}: branch to unknown label {target!r}")
+
+    for operand in insn.operands:
+        if isinstance(operand, Reg) and operand.name not in defined:
+            raise CompilerError(
+                f"{where}: use of undefined register %{operand.name}")
+        if isinstance(operand, GlobalRef):
+            name = operand.name
+            if (name not in module.globals and name not in module.functions
+                    and name not in module.externs):
+                raise CompilerError(
+                    f"{where}: unknown symbol @{name}")
+
+    if insn.opcode == "call":
+        callee = insn.operands[0]
+        if not isinstance(callee, FuncRef):
+            raise CompilerError(f"{where}: call target must be a function")
+        arity = len(insn.operands) - 1
+        if callee.name in module.functions:
+            expected = len(module.functions[callee.name].params)
+        elif callee.name in module.externs:
+            expected = module.externs[callee.name].num_params
+        else:
+            raise CompilerError(
+                f"{where}: call to unknown function @{callee.name}")
+        if arity != expected:
+            raise CompilerError(
+                f"{where}: @{callee.name} expects {expected} args, "
+                f"got {arity}")
+
+    if insn.opcode == "alloca":
+        size = insn.operands[0]
+        if not isinstance(size, Imm) or size.value == 0:
+            raise CompilerError(
+                f"{where}: alloca needs a positive immediate size")

@@ -1,0 +1,21 @@
+"""Virtual Ghost core: the SVA-OS virtual machine and its trusted services.
+
+This package is the paper's primary contribution. Everything in it is part
+of the Trusted Computing Base; everything in :mod:`repro.kernel` is not.
+
+Entry points:
+
+* :class:`repro.core.vm.SVAVM` -- the compiler-based virtual machine that
+  boots on a :class:`~repro.hardware.platform.Machine` and hosts the kernel.
+* :class:`repro.core.config.VGConfig` -- feature toggles; turning every
+  protection off yields the paper's "native" baseline (same kernel, same
+  machine, no instrumentation).
+* :mod:`repro.core.layout` -- the three-partition address space (+ SVA
+  internal memory) and the bit-masking sandbox arithmetic.
+"""
+
+from repro.core.config import VGConfig
+from repro.core.layout import Region, classify, mask_address
+from repro.core.vm import SVAVM
+
+__all__ = ["SVAVM", "VGConfig", "Region", "classify", "mask_address"]

@@ -1,0 +1,59 @@
+"""Feature toggles for the Virtual Ghost protections.
+
+The paper's baseline is the same FreeBSD kernel compiled by the same LLVM
+*without* the Virtual Ghost passes; :meth:`VGConfig.native` reproduces
+that (same kernel, same machine, all protections off). The ablation
+benchmarks flip individual toggles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class VGConfig:
+    """Which Virtual Ghost mechanisms are active."""
+
+    #: Load/store sandboxing of kernel code (compiler pass + charged on
+    #: every modeled kernel memory access).
+    sandboxing: bool = True
+    #: Control-flow integrity instrumentation of kernel code.
+    cfi: bool = True
+    #: SVA-OS run-time checks on MMU updates (ghost/SVA/code-page policy).
+    mmu_checks: bool = True
+    #: Interrupt Context saved in SVA-internal memory + register scrubbing
+    #: (off = trap state saved on the kernel stack, kernel-readable).
+    secure_ic: bool = True
+    #: Ghost memory services (allocgm/freegm, key management, trusted RNG).
+    ghost_memory: bool = True
+    #: Sign translations and verify signatures before execution.
+    signed_translations: bool = True
+    #: Verify application executable signatures at exec time.
+    verify_app_signatures: bool = True
+    #: IOMMU protection of ghost/SVA frames against DMA.
+    dma_protection: bool = True
+
+    @classmethod
+    def virtual_ghost(cls) -> "VGConfig":
+        """Full protections (the paper's Virtual Ghost configuration)."""
+        return cls()
+
+    @classmethod
+    def native(cls) -> "VGConfig":
+        """The paper's baseline: no protections at all."""
+        return cls(sandboxing=False, cfi=False, mmu_checks=False,
+                   secure_ic=False, ghost_memory=False,
+                   signed_translations=False, verify_app_signatures=False,
+                   dma_protection=False)
+
+    def with_(self, **changes) -> "VGConfig":
+        """A copy with some toggles changed (for ablations)."""
+        return replace(self, **changes)
+
+    @property
+    def any_protection(self) -> bool:
+        return any((self.sandboxing, self.cfi, self.mmu_checks,
+                    self.secure_ic, self.ghost_memory,
+                    self.signed_translations, self.verify_app_signatures,
+                    self.dma_protection))

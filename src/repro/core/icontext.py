@@ -1,0 +1,147 @@
+"""Interrupt Context management (paper section 4.6).
+
+The Interrupt Context (IC) is the program state saved when an application
+traps into the kernel. Commodity kernels keep it on the kernel stack; a
+hostile kernel can then read secrets out of saved registers or rewrite
+the saved program counter to hijack the application. Virtual Ghost:
+
+* uses the Interrupt Stack Table to save the IC inside SVA-internal
+  memory, where the sandboxing makes it unaddressable by kernel code;
+* zeroes all registers (except system-call argument registers, for
+  system calls) before the kernel runs;
+* gives the kernel only *checked* operations to effect legitimate IC
+  changes: set a return value, push a registered signal handler
+  (``sva.ipush.function``), save/load around signal delivery, clone for
+  ``fork`` (``sva.newstate``), reinitialize for ``execve``
+  (``sva.reinit.icontext``).
+
+When ``secure_ic`` is off (native baseline), the IC is additionally
+*serialized into the thread's kernel stack memory* -- real bytes in
+simulated RAM that a malicious kernel module can read or overwrite, which
+is exactly what the interrupted-state attacks do.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SecurityViolation
+from repro.hardware.cpu import GPR_NAMES, RegisterFile, SYSCALL_ARG_REGS
+
+
+class TrapKind(enum.Enum):
+    SYSCALL = "syscall"
+    INTERRUPT = "interrupt"
+    PAGE_FAULT = "page_fault"
+
+
+@dataclass
+class InterruptContext:
+    """Saved user program state; lives inside the SVA VM."""
+
+    regs: RegisterFile
+    kind: TrapKind
+    #: Signal-handler invocation pending on resume (set by ipush_function):
+    #: (handler_addr, args) or None.
+    pushed_handler: tuple[int, tuple[int, ...]] | None = None
+
+    def copy(self) -> "InterruptContext":
+        return InterruptContext(regs=self.regs.copy(), kind=self.kind,
+                                pushed_handler=self.pushed_handler)
+
+    # -- serialization (used only when the IC lives on the kernel stack) ----
+
+    def serialize(self) -> bytes:
+        words = [self.regs.get(name) for name in GPR_NAMES]
+        words.append(self.regs.rip)
+        words.append(self.regs.rflags)
+        return b"".join(w.to_bytes(8, "little") for w in words)
+
+    @classmethod
+    def deserialize(cls, data: bytes, kind: TrapKind) -> "InterruptContext":
+        regs = RegisterFile()
+        for index, name in enumerate(GPR_NAMES):
+            regs.set(name, int.from_bytes(data[index * 8:index * 8 + 8],
+                                          "little"))
+        base = len(GPR_NAMES) * 8
+        regs.rip = int.from_bytes(data[base:base + 8], "little")
+        regs.rflags = int.from_bytes(data[base + 8:base + 16], "little")
+        return cls(regs=regs, kind=kind)
+
+    SERIALIZED_SIZE = (len(GPR_NAMES) + 2) * 8
+
+
+@dataclass
+class ThreadState:
+    """Kernel-level processor state of a thread off the CPU (section 4.6.2).
+
+    Created only by ``sva.newstate``; the kernel holds an opaque id."""
+
+    kernel_entry: int            # kernel function the thread resumes in
+    ic_stack: list[InterruptContext] = field(default_factory=list)
+
+
+class ICRegistry:
+    """Per-thread Interrupt Context storage inside SVA-internal memory.
+
+    Keys are opaque thread ids issued by the kernel; the kernel can name
+    a thread but can never touch the stored state directly.
+    """
+
+    def __init__(self):
+        self._current: dict[int, InterruptContext] = {}
+        self._saved_stacks: dict[int, list[InterruptContext]] = {}
+
+    # -- trap entry/exit -------------------------------------------------------
+
+    def set_current(self, thread_id: int, ic: InterruptContext) -> None:
+        self._current[thread_id] = ic
+
+    def current(self, thread_id: int) -> InterruptContext:
+        try:
+            return self._current[thread_id]
+        except KeyError:
+            raise SecurityViolation(
+                f"no Interrupt Context for thread {thread_id}") from None
+
+    def has_current(self, thread_id: int) -> bool:
+        return thread_id in self._current
+
+    def drop(self, thread_id: int) -> None:
+        self._current.pop(thread_id, None)
+        self._saved_stacks.pop(thread_id, None)
+
+    # -- signal save/restore (sva.icontext.save / sva.icontext.load) ------------
+
+    def push_saved(self, thread_id: int) -> None:
+        """Save a copy of the current IC on the per-thread SVA stack."""
+        stack = self._saved_stacks.setdefault(thread_id, [])
+        stack.append(self.current(thread_id).copy())
+
+    def pop_saved(self, thread_id: int) -> None:
+        """Restore the most recently saved IC (sigreturn path).
+
+        Restoring from SVA memory guarantees the kernel could not have
+        modified the state in between, and that it is restored into the
+        correct thread (paper section 4.6.1).
+        """
+        stack = self._saved_stacks.get(thread_id)
+        if not stack:
+            raise SecurityViolation(
+                f"thread {thread_id}: sigreturn with no saved context")
+        self._current[thread_id] = stack.pop()
+
+    def saved_depth(self, thread_id: int) -> int:
+        return len(self._saved_stacks.get(thread_id, []))
+
+
+def scrub_for_kernel(ic: InterruptContext, live_regs: RegisterFile) -> None:
+    """Zero registers before entering the kernel (paper section 4.6).
+
+    System calls keep their argument registers live; everything else is
+    cleared so the kernel cannot glean interrupted program state from the
+    processor.
+    """
+    keep = SYSCALL_ARG_REGS if ic.kind == TrapKind.SYSCALL else ()
+    live_regs.scrub(keep=keep)

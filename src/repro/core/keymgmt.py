@@ -1,0 +1,177 @@
+"""Key management and the signed application format (paper sections 3.3/4.4).
+
+The chain of trust::
+
+    TPM storage key => Virtual Ghost private key => application private key
+                    => additional application keys
+
+The Virtual Ghost RSA key pair is generated from TPM entropy on first boot
+and sealed by the TPM; on later boots it is unsealed. Application
+executables carry an *encrypted key section* (the app key wrapped with the
+VG public key) and are signed by the VG key pair at install time by a
+trusted administrator. At exec time the VM verifies the signature -- a
+mismatch prevents startup -- and decrypts the key section into SVA memory,
+where ``sva.getKey`` can hand it to the running application (and nobody
+else).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.crypto.sha256 import sha256
+from repro.errors import SecurityViolation, SignatureError
+from repro.hardware.clock import CycleClock
+from repro.hardware.tpm import TPM
+
+#: RSA modulus size for the Virtual Ghost key pair. Small for simulation
+#: speed; structurally identical to a production-size key.
+VG_KEY_BITS = 1024
+
+
+@dataclass(frozen=True)
+class SignedExecutable:
+    """An installed application binary.
+
+    ``program_id`` identifies the program logic (the analogue of the text
+    segment's contents); ``code_digest`` commits to it. The ``key_section``
+    is the application key encrypted with the Virtual Ghost public key --
+    a separate object-file section so trusted tools can swap keys without
+    re-linking (paper section 4.4).
+    """
+
+    name: str
+    program_id: str
+    code_digest: bytes
+    key_section: bytes
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        return (self.name.encode() + b"\x00" + self.program_id.encode()
+                + b"\x00" + self.code_digest + self.key_section)
+
+
+class KeyManager:
+    """Holds the Virtual Ghost key pair and derived service keys."""
+
+    def __init__(self, keypair: RSAKeyPair, *, sealed_blob: bytes,
+                 clock: CycleClock):
+        self._keypair = keypair
+        self.sealed_blob = sealed_blob      # what persists across boots
+        self.clock = clock
+        #: verification cache: signature -> decrypted app key. Like the
+        #: VM's signed-translation cache, exec-time validation is done
+        #: once per binary; re-execs of an unchanged binary hit this.
+        self._validated: dict[bytes, bytes] = {}
+        self._digests: dict[bytes, bytes] = {}
+        secret = sha256(keypair.sign(b"vg-service-keys"))
+        #: HMAC key for signing native-code translations.
+        self.translation_key = hmac_sha256(secret, b"translations")
+        #: AEAD key for ghost-page swap blobs.
+        self.swap_key = hmac_sha256(secret, b"swap")[:16]
+
+    @property
+    def public(self) -> RSAPublicKey:
+        return self._keypair.public
+
+    @classmethod
+    def bootstrap(cls, tpm: TPM, clock: CycleClock) -> "KeyManager":
+        """First boot: generate the VG key pair and seal it in the TPM."""
+        keypair = RSAKeyPair.generate(VG_KEY_BITS, seed=tpm.entropy(32))
+        blob = tpm.seal(_serialize_keypair(keypair))
+        clock.charge("rsa_op")
+        return cls(keypair, sealed_blob=blob, clock=clock)
+
+    @classmethod
+    def from_sealed(cls, tpm: TPM, sealed_blob: bytes,
+                    clock: CycleClock) -> "KeyManager":
+        """Subsequent boots: unseal the key pair from persistent storage."""
+        keypair = _deserialize_keypair(tpm.unseal(sealed_blob))
+        return cls(keypair, sealed_blob=sealed_blob, clock=clock)
+
+    # -- application installation (trusted administrator path) -------------------
+
+    def install_application(self, name: str, program_id: str,
+                            app_key: bytes) -> SignedExecutable:
+        """Produce a signed executable with an embedded encrypted key.
+
+        This models the trusted install step: "the application is installed
+        by a trusted system administrator" and signed with the Virtual
+        Ghost key pair. It is *not* reachable from kernel code.
+        """
+        if len(app_key) != 16:
+            raise ValueError("application keys are 128-bit AES keys")
+        code_digest = sha256(program_id.encode())
+        key_section = self.public.encrypt(app_key)
+        self.clock.charge("rsa_op")
+        unsigned = SignedExecutable(name=name, program_id=program_id,
+                                    code_digest=code_digest,
+                                    key_section=key_section, signature=b"")
+        signature = self._keypair.sign(unsigned.signed_payload())
+        self.clock.charge("rsa_op")
+        return SignedExecutable(name=name, program_id=program_id,
+                                code_digest=code_digest,
+                                key_section=key_section,
+                                signature=signature)
+
+    # -- exec-time validation (called by the SVA VM) -------------------------------
+
+    def validate_executable(self, exe: SignedExecutable) -> bytes:
+        """Verify the signature and return the decrypted application key.
+
+        Raises :class:`SecurityViolation` on any mismatch -- the paper's
+        behaviour: "modifications will be detected when setting the
+        application up for execution and will prevent application startup."
+        """
+        cached = self._validated.get(exe.signature)
+        if cached is not None:
+            # cache hit still re-hashes the payload to bind it to the
+            # signature we remembered
+            self.clock.charge("sha_block",
+                              max(1, len(exe.signed_payload()) // 64))
+            if sha256(exe.signed_payload()) == self._payload_digest_of(
+                    exe.signature):
+                return cached
+        self.clock.charge("rsa_op")
+        if not self.public.verify(exe.signed_payload(), exe.signature):
+            raise SecurityViolation(
+                f"executable {exe.name!r}: signature verification failed")
+        if sha256(exe.program_id.encode()) != exe.code_digest:
+            raise SecurityViolation(
+                f"executable {exe.name!r}: code digest mismatch")
+        self.clock.charge("rsa_op")
+        try:
+            app_key = self._keypair.decrypt(exe.key_section)
+        except ValueError as exc:
+            raise SecurityViolation(
+                f"executable {exe.name!r}: corrupt key section") from exc
+        if len(app_key) != 16:
+            raise SecurityViolation(
+                f"executable {exe.name!r}: malformed application key")
+        self._validated[exe.signature] = app_key
+        self._digests[exe.signature] = sha256(exe.signed_payload())
+        return app_key
+
+    def _payload_digest_of(self, signature: bytes) -> bytes | None:
+        return self._digests.get(signature)
+
+
+def _serialize_keypair(keypair: RSAKeyPair) -> bytes:
+    n = keypair.public.n
+    d = keypair._d  # noqa: SLF001 -- serialization is the owner's business
+    nb = (n.bit_length() + 7) // 8
+    return (nb.to_bytes(4, "big") + n.to_bytes(nb, "big")
+            + d.to_bytes(nb, "big"))
+
+
+def _deserialize_keypair(blob: bytes) -> RSAKeyPair:
+    if len(blob) < 4:
+        raise SignatureError("sealed key blob truncated")
+    nb = int.from_bytes(blob[:4], "big")
+    if len(blob) != 4 + 2 * nb:
+        raise SignatureError("sealed key blob malformed")
+    n = int.from_bytes(blob[4:4 + nb], "big")
+    d = int.from_bytes(blob[4 + nb:], "big")
+    return RSAKeyPair(n=n, e=65537, d=d)

@@ -1,0 +1,62 @@
+"""Secure swapping of ghost pages (paper section 3.3).
+
+Programmed I/O of application data is the application's job (it encrypts
+before write()); *swapping* of ghost pages is Virtual Ghost's job, since
+the application cannot know when the OS wants its frames back. When the
+OS asks to swap a ghost page out, the VM encrypts and MACs the page under
+its own swap key and hands the OS the opaque blob; on swap-in it verifies
+the blob, binds it to the same (process, virtual address), and restores
+the contents. The OS can deny service (refuse to swap in) but cannot read
+the page or substitute different contents -- including replaying a blob
+at a different address, which the bound additional data prevents.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.signing import authenticated_decrypt, authenticated_encrypt
+from repro.errors import SecurityViolation, SignatureError
+from repro.hardware.clock import CycleClock
+from repro.hardware.memory import PAGE_SIZE
+
+
+class SwapService:
+    """Encrypt/verify ghost pages on their way to and from the OS."""
+
+    def __init__(self, swap_key: bytes, clock: CycleClock):
+        self._key = swap_key
+        self.clock = clock
+        self._nonce_counter = 0
+        self.pages_out = 0
+        self.pages_in = 0
+
+    def protect_page(self, pid: int, vaddr: int, page: bytes) -> bytes:
+        """Encrypt+MAC one page for the OS to store wherever it likes."""
+        if len(page) != PAGE_SIZE:
+            raise ValueError("swap operates on whole pages")
+        self._nonce_counter += 1
+        nonce = self._nonce_counter.to_bytes(16, "big")
+        self.clock.charge("aes_block", PAGE_SIZE // 16)
+        self.clock.charge("sha_block", PAGE_SIZE // 64)
+        self.pages_out += 1
+        return authenticated_encrypt(self._key, page, nonce,
+                                     aad=_binding(pid, vaddr))
+
+    def recover_page(self, pid: int, vaddr: int, blob: bytes) -> bytes:
+        """Verify and decrypt a swapped-out page; reject any tampering."""
+        self.clock.charge("aes_block", PAGE_SIZE // 16)
+        self.clock.charge("sha_block", PAGE_SIZE // 64)
+        try:
+            page = authenticated_decrypt(self._key, blob,
+                                         aad=_binding(pid, vaddr))
+        except SignatureError as exc:
+            raise SecurityViolation(
+                f"swap-in of ghost page {vaddr:#x} (pid {pid}): "
+                f"OS returned corrupted or substituted contents") from exc
+        if len(page) != PAGE_SIZE:
+            raise SecurityViolation("swap-in blob has wrong page size")
+        self.pages_in += 1
+        return page
+
+
+def _binding(pid: int, vaddr: int) -> bytes:
+    return pid.to_bytes(8, "big") + vaddr.to_bytes(8, "big")

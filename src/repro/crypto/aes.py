@@ -1,0 +1,172 @@
+"""AES-128 block cipher, implemented from FIPS 197.
+
+Only the 128-bit key size is provided -- it is what the paper's prototype
+uses for the application key ("a 128-bit AES application key is hard-coded
+into SVA-OS", section 5).
+"""
+
+from __future__ import annotations
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    # Multiplicative inverse table in GF(2^8) via exp/log tables (generator 3)
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply by generator 0x03
+        x ^= (x << 1) ^ (0x1B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = bytearray(256)
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        transformed = inv
+        for shift in (1, 2, 3, 4):
+            transformed ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox[value] = transformed ^ 0x63
+    inv_sbox = bytearray(256)
+    for value, mapped in enumerate(sbox):
+        inv_sbox[mapped] = value
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class AES128:
+    """AES with a 16-byte key; ``encrypt_block``/``decrypt_block`` only.
+
+    Modes of operation live in :mod:`repro.crypto.modes`.
+    """
+
+    BLOCK_SIZE = 16
+
+    def __init__(self, key: bytes):
+        if len(key) != 16:
+            raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        words = [list(key[i:i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 44):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+        # one flat 16-byte round key per round
+        return [sum((words[4 * r + c] for c in range(4)), [])
+                for r in range(11)]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = [block[r + 4 * c] for r in range(4) for c in range(4)]
+        # state is row-major: state[4*r + c]
+        self._add_round_key(state, 0)
+        for round_index in range(1, 10):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, round_index)
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, 10)
+        return bytes(state[4 * r + c] for c in range(4) for r in range(4))
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = [block[r + 4 * c] for r in range(4) for c in range(4)]
+        self._add_round_key(state, 10)
+        for round_index in range(9, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, round_index)
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, 0)
+        return bytes(state[4 * r + c] for c in range(4) for r in range(4))
+
+    # -- round operations (state is 16 ints, state[4*r + c]) --------------------
+
+    def _add_round_key(self, state: list[int], round_index: int) -> None:
+        round_key = self._round_keys[round_index]
+        for c in range(4):
+            for r in range(4):
+                state[4 * r + c] ^= round_key[4 * c + r]
+
+    @staticmethod
+    def _sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        for r in range(1, 4):
+            row = state[4 * r:4 * r + 4]
+            state[4 * r:4 * r + 4] = row[r:] + row[:r]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for r in range(1, 4):
+            row = state[4 * r:4 * r + 4]
+            state[4 * r:4 * r + 4] = row[-r:] + row[:-r]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for c in range(4):
+            col = [state[4 * r + c] for r in range(4)]
+            state[0 * 4 + c] = (_mul(col[0], 2) ^ _mul(col[1], 3)
+                                ^ col[2] ^ col[3])
+            state[1 * 4 + c] = (col[0] ^ _mul(col[1], 2)
+                                ^ _mul(col[2], 3) ^ col[3])
+            state[2 * 4 + c] = (col[0] ^ col[1]
+                                ^ _mul(col[2], 2) ^ _mul(col[3], 3))
+            state[3 * 4 + c] = (_mul(col[0], 3) ^ col[1]
+                                ^ col[2] ^ _mul(col[3], 2))
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for c in range(4):
+            col = [state[4 * r + c] for r in range(4)]
+            state[0 * 4 + c] = (_mul(col[0], 14) ^ _mul(col[1], 11)
+                                ^ _mul(col[2], 13) ^ _mul(col[3], 9))
+            state[1 * 4 + c] = (_mul(col[0], 9) ^ _mul(col[1], 14)
+                                ^ _mul(col[2], 11) ^ _mul(col[3], 13))
+            state[2 * 4 + c] = (_mul(col[0], 13) ^ _mul(col[1], 9)
+                                ^ _mul(col[2], 14) ^ _mul(col[3], 11))
+            state[3 * 4 + c] = (_mul(col[0], 11) ^ _mul(col[1], 13)
+                                ^ _mul(col[2], 9) ^ _mul(col[3], 14))

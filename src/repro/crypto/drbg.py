@@ -1,0 +1,53 @@
+"""HMAC-DRBG (NIST SP 800-90A, SHA-256 variant).
+
+This is the deterministic random bit generator behind the Virtual Ghost
+trusted RNG instruction. The paper adds a trusted RNG to SVA-OS to defeat
+Iago attacks that feed applications non-random "randomness" through
+/dev/random; applications on our simulated system draw from an instance of
+this DRBG seeded inside the SVA VM, out of the kernel's reach.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac import hmac_sha256
+
+
+class HmacDRBG:
+    """Deterministic, reseedable pseudorandom generator."""
+
+    def __init__(self, seed: bytes):
+        self._key = bytes(32)
+        self._value = b"\x01" * 32
+        self._update(seed)
+
+    def _update(self, data: bytes | None) -> None:
+        self._key = hmac_sha256(self._key, self._value + b"\x00"
+                                + (data or b""))
+        self._value = hmac_sha256(self._key, self._value)
+        if data:
+            self._key = hmac_sha256(self._key, self._value + b"\x01" + data)
+            self._value = hmac_sha256(self._key, self._value)
+
+    def reseed(self, entropy: bytes) -> None:
+        self._update(entropy)
+
+    def generate(self, length: int) -> bytes:
+        if length < 0:
+            raise ValueError("negative length")
+        output = bytearray()
+        while len(output) < length:
+            self._value = hmac_sha256(self._key, self._value)
+            output += self._value
+        self._update(None)
+        return bytes(output[:length])
+
+    def randint(self, upper_exclusive: int) -> int:
+        """Uniform integer in [0, upper_exclusive) by rejection sampling."""
+        if upper_exclusive <= 0:
+            raise ValueError("upper bound must be positive")
+        nbytes = (upper_exclusive.bit_length() + 7) // 8
+        limit = (256 ** nbytes // upper_exclusive) * upper_exclusive
+        while True:
+            candidate = int.from_bytes(self.generate(nbytes), "big")
+            if candidate < limit:
+                return candidate % upper_exclusive

@@ -1,0 +1,159 @@
+"""RSA: Miller-Rabin key generation, raw ops, and PKCS#1-v1.5-style padding.
+
+The Virtual Ghost VM holds one RSA key pair per system; it signs application
+executables and wraps (encrypts) each application's embedded key section.
+Keys default to 1024 bits -- small by modern standards but structurally
+identical, and fast enough to generate inside the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDRBG
+from repro.crypto.sha256 import sha256
+
+_E = 65537
+
+#: ASN.1 DigestInfo prefix for SHA-256 (RFC 8017 section 9.2).
+_SHA256_PREFIX = bytes.fromhex("3031300d060960864801650304020105000420")
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+
+
+def _is_probable_prime(n: int, rng: HmacDRBG, rounds: int = 24) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + rng.randint(n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(bits: int, rng: HmacDRBG) -> int:
+    while True:
+        candidate = int.from_bytes(rng.generate(bits // 8), "big")
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """The verification/encryption half of a key pair."""
+
+    n: int
+    e: int = _E
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def encrypt(self, message: bytes) -> bytes:
+        """PKCS#1-v1.5-style encryption (type-2 blocks, fixed padding).
+
+        Note: padding bytes are deterministic in this simulation (derived
+        from the message hash) -- there is no adversary with access to the
+        math, only the simulated OS, which never sees the plaintext.
+        """
+        k = self.byte_length
+        if len(message) > k - 11:
+            raise ValueError(f"message too long for RSA-{k * 8}")
+        filler = _nonzero_filler(sha256(message), k - 3 - len(message))
+        block = b"\x00\x02" + filler + b"\x00" + message
+        c = pow(int.from_bytes(block, "big"), self.e, self.n)
+        return c.to_bytes(k, "big")
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Verify a PKCS#1-v1.5 SHA-256 signature."""
+        if len(signature) != self.byte_length:
+            return False
+        m = pow(int.from_bytes(signature, "big"), self.e, self.n)
+        block = m.to_bytes(self.byte_length, "big")
+        expected = _emsa_pkcs1(sha256(message), self.byte_length)
+        return block == expected
+
+    def fingerprint(self) -> bytes:
+        """Stable identifier for the key (hash of its modulus)."""
+        return sha256(self.n.to_bytes(self.byte_length, "big") +
+                      self.e.to_bytes(4, "big"))[:16]
+
+
+class RSAKeyPair:
+    """Private key with decrypt/sign, plus its public half."""
+
+    def __init__(self, n: int, e: int, d: int):
+        self.public = RSAPublicKey(n=n, e=e)
+        self._d = d
+
+    @classmethod
+    def generate(cls, bits: int = 1024, *, seed: bytes) -> "RSAKeyPair":
+        """Deterministically generate a key pair from a seed."""
+        rng = HmacDRBG(b"rsa-keygen" + seed)
+        while True:
+            p = _generate_prime(bits // 2, rng)
+            q = _generate_prime(bits // 2, rng)
+            if p == q:
+                continue
+            n = p * q
+            phi = (p - 1) * (q - 1)
+            if phi % _E == 0:
+                continue
+            d = pow(_E, -1, phi)
+            return cls(n=n, e=_E, d=d)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        k = self.public.byte_length
+        if len(ciphertext) != k:
+            raise ValueError("bad ciphertext length")
+        m = pow(int.from_bytes(ciphertext, "big"), self._d, self.public.n)
+        block = m.to_bytes(k, "big")
+        if block[:2] != b"\x00\x02":
+            raise ValueError("decryption failed (bad block type)")
+        try:
+            separator = block.index(0, 2)
+        except ValueError:
+            raise ValueError("decryption failed (no separator)") from None
+        return block[separator + 1:]
+
+    def sign(self, message: bytes) -> bytes:
+        block = _emsa_pkcs1(sha256(message), self.public.byte_length)
+        s = pow(int.from_bytes(block, "big"), self._d, self.public.n)
+        return s.to_bytes(self.public.byte_length, "big")
+
+
+def _emsa_pkcs1(digest: bytes, k: int) -> bytes:
+    payload = _SHA256_PREFIX + digest
+    if k < len(payload) + 11:
+        raise ValueError("modulus too small for SHA-256 signatures")
+    return b"\x00\x01" + b"\xff" * (k - len(payload) - 3) + b"\x00" + payload
+
+
+def _nonzero_filler(seed: bytes, length: int) -> bytes:
+    """Deterministic non-zero padding bytes derived from a seed."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        for b in sha256(seed + counter.to_bytes(4, "big")):
+            if b != 0:
+                out.append(b)
+                if len(out) == length:
+                    break
+        counter += 1
+    return bytes(out)

@@ -1,0 +1,68 @@
+"""Authenticated-encryption and signature envelopes.
+
+These helpers define the on-disk/wire formats used throughout the system:
+the TPM seal, ghost-page swap blobs, encrypted application key sections,
+and the encrypt-then-MAC files the ported OpenSSH applications exchange.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+from repro.crypto.hmac import constant_time_equal, hmac_sha256
+from repro.crypto.modes import ctr_xcrypt
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.crypto.sha256 import sha256
+from repro.errors import SignatureError
+
+_TAG_LEN = 32
+_NONCE_LEN = 16
+
+
+def derive_subkeys(key: bytes) -> tuple[bytes, bytes]:
+    """Split one secret into independent encryption and MAC keys."""
+    return (hmac_sha256(key, b"enc")[:16], hmac_sha256(key, b"mac"))
+
+
+def authenticated_encrypt(key: bytes, plaintext: bytes,
+                          nonce: bytes, *, aad: bytes = b"") -> bytes:
+    """Encrypt-then-MAC: nonce || ciphertext || HMAC(nonce+aad+ct)."""
+    if len(nonce) != _NONCE_LEN:
+        raise ValueError(f"nonce must be {_NONCE_LEN} bytes")
+    enc_key, mac_key = derive_subkeys(key)
+    ciphertext = ctr_xcrypt(AES128(enc_key), nonce, plaintext)
+    tag = hmac_sha256(mac_key, nonce + aad + ciphertext)
+    return nonce + ciphertext + tag
+
+
+def authenticated_decrypt(key: bytes, blob: bytes, *,
+                          aad: bytes = b"") -> bytes:
+    """Verify and decrypt a blob from :func:`authenticated_encrypt`.
+
+    Raises :class:`SignatureError` on any tampering.
+    """
+    if len(blob) < _NONCE_LEN + _TAG_LEN:
+        raise SignatureError("authenticated blob too short")
+    nonce = blob[:_NONCE_LEN]
+    ciphertext = blob[_NONCE_LEN:-_TAG_LEN]
+    tag = blob[-_TAG_LEN:]
+    enc_key, mac_key = derive_subkeys(key)
+    expected = hmac_sha256(mac_key, nonce + aad + ciphertext)
+    if not constant_time_equal(tag, expected):
+        raise SignatureError("MAC verification failed")
+    return ctr_xcrypt(AES128(enc_key), nonce, ciphertext)
+
+
+def sign_blob(keypair: RSAKeyPair, data: bytes) -> bytes:
+    """Detached RSA signature over ``data``."""
+    return keypair.sign(data)
+
+
+def verify_blob(public: RSAPublicKey, data: bytes, signature: bytes) -> None:
+    """Raise :class:`SignatureError` unless ``signature`` covers ``data``."""
+    if not public.verify(data, signature):
+        raise SignatureError("RSA signature verification failed")
+
+
+def checksum(data: bytes) -> bytes:
+    """Plain SHA-256 checksum (integrity-only protection)."""
+    return sha256(data)

@@ -1,0 +1,92 @@
+"""Exception hierarchy shared across the Virtual Ghost reproduction.
+
+Every layer of the stack raises a subclass of :class:`ReproError` so that
+callers can catch simulation-level failures without masking genuine Python
+bugs (``TypeError`` etc. are never wrapped).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the simulation."""
+
+
+class HardwareError(ReproError):
+    """Raised on invalid interactions with the simulated hardware."""
+
+
+class PhysicalMemoryError(HardwareError):
+    """Access to a physical address outside installed memory."""
+
+
+class TranslationFault(HardwareError):
+    """MMU failed to translate a virtual address (page fault analogue).
+
+    Attributes:
+        vaddr: faulting virtual address.
+        write: True when the access was a write.
+        user: True when the access was made at user privilege.
+        present: True when the page was present but permissions failed.
+    """
+
+    def __init__(self, vaddr: int, *, write: bool = False, user: bool = False,
+                 present: bool = False):
+        self.vaddr = vaddr
+        self.write = write
+        self.user = user
+        self.present = present
+        kind = "protection" if present else "not-present"
+        mode = "user" if user else "supervisor"
+        op = "write" if write else "read"
+        super().__init__(
+            f"translation fault at {vaddr:#x} ({kind}, {mode} {op})")
+
+
+class IOMMUFault(HardwareError):
+    """A DMA request was rejected by the IOMMU."""
+
+
+class SecurityViolation(ReproError):
+    """A Virtual Ghost run-time check rejected an operation.
+
+    These are the checks the paper's SVA-OS layer performs: MMU update
+    policy, Interrupt Context manipulation, signal-dispatch target
+    validation, translation-signature mismatches, and so on.
+    """
+
+
+class CFIViolation(SecurityViolation):
+    """A control-flow-integrity check failed inside instrumented code."""
+
+
+class SignatureError(SecurityViolation):
+    """A cryptographic signature or MAC failed to verify."""
+
+
+class CompilerError(ReproError):
+    """Malformed IR, a verifier rejection, or a codegen failure."""
+
+
+class IRParseError(CompilerError):
+    """The textual IR parser rejected its input."""
+
+
+class InterpreterError(ReproError):
+    """Native-code interpreter hit an illegal state (bad opcode etc.)."""
+
+
+class KernelError(ReproError):
+    """Internal kernel inconsistency (a simulated kernel panic)."""
+
+
+class SyscallError(ReproError):
+    """A system call failed; carries a unix-style errno name.
+
+    Kernel syscall handlers raise this; the dispatch layer converts it to a
+    negative return value, mirroring the errno convention.
+    """
+
+    def __init__(self, errno: str, message: str = ""):
+        self.errno = errno
+        super().__init__(f"[{errno}] {message}" if message else errno)

@@ -1,0 +1,24 @@
+"""Simulated hardware substrate for the Virtual Ghost reproduction.
+
+The paper runs on a real x86-64 workstation; this package provides the
+synthetic equivalent: a cycle-accurate-ish machine model with physical
+memory, a 4-level-page-table MMU with a TLB, an IOMMU, port-mapped I/O,
+a DMA engine, a block disk, a NIC on a gigabit link, a TPM, and an
+interrupt controller with an Interrupt Stack Table.
+
+Every component charges a deterministic :class:`~repro.hardware.clock.CycleClock`
+so that benchmark "time" is an emergent property of the work performed.
+"""
+
+from repro.hardware.clock import CostModel, CycleClock
+from repro.hardware.memory import PhysicalMemory, PAGE_SIZE
+from repro.hardware.platform import Machine, MachineConfig
+
+__all__ = [
+    "CostModel",
+    "CycleClock",
+    "PhysicalMemory",
+    "PAGE_SIZE",
+    "Machine",
+    "MachineConfig",
+]

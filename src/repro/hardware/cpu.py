@@ -1,0 +1,91 @@
+"""CPU model: register file, privilege level, and the Interrupt Stack Table.
+
+The simulation does not fetch-execute x86 instructions for the whole
+system (kernel logic runs as instrumented Python charged through
+``KernelContext``; kernel *modules* run on the IR interpreter). The CPU
+object's job is to hold the architectural state that the paper's attacks
+target: the general-purpose registers that hold application secrets when
+a trap fires, the privilege level, and the IST pointer that Virtual Ghost
+uses to force trap state into SVA-internal memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: General-purpose registers of x86-64, in conventional order.
+GPR_NAMES = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+#: Registers that carry system-call arguments (SysV ABI + syscall number).
+SYSCALL_ARG_REGS = ("rax", "rdi", "rsi", "rdx", "r10", "r8", "r9")
+
+USER_MODE = 3
+KERNEL_MODE = 0
+
+_U64 = (1 << 64) - 1
+
+
+@dataclass
+class RegisterFile:
+    """Snapshot-able architectural register state."""
+
+    gprs: dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in GPR_NAMES})
+    rip: int = 0
+    rflags: int = 0x202
+
+    def get(self, name: str) -> int:
+        if name == "rip":
+            return self.rip
+        if name == "rflags":
+            return self.rflags
+        return self.gprs[name]
+
+    def set(self, name: str, value: int) -> None:
+        value &= _U64
+        if name == "rip":
+            self.rip = value
+        elif name == "rflags":
+            self.rflags = value
+        else:
+            if name not in self.gprs:
+                raise KeyError(f"unknown register {name!r}")
+            self.gprs[name] = value
+
+    def copy(self) -> "RegisterFile":
+        return RegisterFile(gprs=dict(self.gprs), rip=self.rip,
+                            rflags=self.rflags)
+
+    def scrub(self, keep: tuple[str, ...] = ()) -> None:
+        """Zero every GPR not in ``keep`` (Virtual Ghost register scrubbing)."""
+        for name in self.gprs:
+            if name not in keep:
+                self.gprs[name] = 0
+
+
+class CPU:
+    """One hardware thread: registers, privilege, and trap-save target."""
+
+    def __init__(self):
+        self.regs = RegisterFile()
+        self.mode = KERNEL_MODE
+        #: IST entry: where the hardware spills trap state. Virtual Ghost
+        #: points this into SVA-internal memory (paper section 5); a stock
+        #: kernel points it at the per-thread kernel stack.
+        self.ist_target: int | None = None
+        #: The CR3 value currently loaded (page-table root physical address);
+        #: mirrored into the MMU by the platform when changed.
+        self.cr3 = 0
+
+    def enter_user(self) -> None:
+        self.mode = USER_MODE
+
+    def enter_kernel(self) -> None:
+        self.mode = KERNEL_MODE
+
+    @property
+    def in_user_mode(self) -> bool:
+        return self.mode == USER_MODE

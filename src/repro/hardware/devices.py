@@ -1,0 +1,25 @@
+"""Miscellaneous devices: the console and a device registry."""
+
+from __future__ import annotations
+
+
+class Console:
+    """Write-only system console; lines are retained for inspection.
+
+    The rootkit's first attack prints stolen data to the system log
+    (paper section 7); tests assert on this buffer to decide whether an
+    attack exfiltrated anything.
+    """
+
+    def __init__(self):
+        self.lines: list[str] = []
+
+    def write(self, text: str) -> None:
+        for line in text.splitlines() or [""]:
+            self.lines.append(line)
+
+    def contains(self, needle: str) -> bool:
+        return any(needle in line for line in self.lines)
+
+    def tail(self, count: int = 10) -> list[str]:
+        return self.lines[-count:]

@@ -1,0 +1,79 @@
+"""Block disk: 512-byte sectors with SSD-like cost parameters.
+
+Two access paths exist, matching real hardware:
+
+* ``read_sectors``/``write_sectors`` -- synchronous programmed transfers
+  used by the kernel's buffer cache (cost: seek + per-sector).
+* ``dma_read_into``/``dma_write_from`` -- device-initiated DMA through the
+  :class:`~repro.hardware.dma.DMAEngine`, hence subject to the IOMMU. The
+  DMA attack in :mod:`repro.attacks.dma_attack` uses this path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareError
+from repro.hardware.clock import CycleClock
+from repro.hardware.dma import DMAEngine
+
+SECTOR_SIZE = 512
+
+
+class Disk:
+    """Sparse sector store (unwritten sectors read as zeros)."""
+
+    def __init__(self, num_sectors: int, clock: CycleClock):
+        if num_sectors <= 0:
+            raise ValueError("disk needs at least one sector")
+        self.num_sectors = num_sectors
+        self.clock = clock
+        self._sectors: dict[int, bytes] = {}
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_sectors * SECTOR_SIZE
+
+    # -- programmed I/O ------------------------------------------------------
+
+    def read_sectors(self, lba: int, count: int) -> bytes:
+        self._check(lba, count)
+        self._charge(count)
+        return b"".join(
+            self._sectors.get(sector, bytes(SECTOR_SIZE))
+            for sector in range(lba, lba + count))
+
+    def write_sectors(self, lba: int, data: bytes) -> None:
+        if len(data) % SECTOR_SIZE:
+            raise HardwareError(
+                f"write length {len(data)} not sector-aligned")
+        count = len(data) // SECTOR_SIZE
+        self._check(lba, count)
+        self._charge(count)
+        for i in range(count):
+            self._sectors[lba + i] = bytes(
+                data[i * SECTOR_SIZE:(i + 1) * SECTOR_SIZE])
+
+    # -- DMA I/O ---------------------------------------------------------------
+
+    def dma_read_into(self, dma: DMAEngine, paddr: int, lba: int,
+                      count: int) -> None:
+        """Disk -> memory transfer via DMA (IOMMU-checked)."""
+        data = self.read_sectors(lba, count)
+        dma.write_memory(paddr, data)
+
+    def dma_write_from(self, dma: DMAEngine, paddr: int, lba: int,
+                       count: int) -> None:
+        """Memory -> disk transfer via DMA (IOMMU-checked)."""
+        data = dma.read_memory(paddr, count * SECTOR_SIZE)
+        self.write_sectors(lba, data)
+
+    def _check(self, lba: int, count: int) -> None:
+        if count <= 0:
+            raise HardwareError(f"bad sector count {count}")
+        if lba < 0 or lba + count > self.num_sectors:
+            raise HardwareError(
+                f"sector range [{lba}, {lba + count}) outside disk "
+                f"({self.num_sectors} sectors)")
+
+    def _charge(self, count: int) -> None:
+        self.clock.charge("disk_seek")
+        self.clock.charge("disk_per_sector", count)

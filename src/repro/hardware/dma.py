@@ -1,0 +1,42 @@
+"""DMA engine: device-initiated copies between devices and physical memory.
+
+Every frame touched by a transfer is validated against the IOMMU first, so
+a transfer that overlaps a single protected frame fails atomically (nothing
+is copied). This is the mechanism that makes the paper's DMA attack fail.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.clock import CycleClock
+from repro.hardware.iommu import IOMMU
+from repro.hardware.memory import PAGE_SIZE, PhysicalMemory
+
+
+class DMAEngine:
+    """Validated physical-memory copy engine shared by all devices."""
+
+    def __init__(self, phys: PhysicalMemory, iommu: IOMMU, clock: CycleClock):
+        self.phys = phys
+        self.iommu = iommu
+        self.clock = clock
+
+    def read_memory(self, paddr: int, length: int) -> bytes:
+        """Device reads ``length`` bytes out of physical memory."""
+        self._check(paddr, length, write=False)
+        self._charge(length)
+        return self.phys.read(paddr, length)
+
+    def write_memory(self, paddr: int, data: bytes) -> None:
+        """Device writes ``data`` into physical memory."""
+        self._check(paddr, len(data), write=True)
+        self._charge(len(data))
+        self.phys.write(paddr, data)
+
+    def _check(self, paddr: int, length: int, *, write: bool) -> None:
+        first = paddr // PAGE_SIZE
+        last = (paddr + max(length, 1) - 1) // PAGE_SIZE
+        for frame in range(first, last + 1):
+            self.iommu.check_dma(frame, write=write)
+
+    def _charge(self, length: int) -> None:
+        self.clock.charge("copy_per_word", (length + 7) // 8)

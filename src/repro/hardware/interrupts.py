@@ -1,0 +1,58 @@
+"""Interrupt controller: vectors, pending lines, and delivery accounting.
+
+Devices raise lines; the platform polls between scheduling quanta (the
+simulation is event-driven, not instruction-interleaved) and dispatches to
+the handler registered for the vector. Under Virtual Ghost the registered
+handlers are SVA-OS trampolines that save the Interrupt Context into SVA
+memory before the kernel sees anything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import HardwareError
+from repro.hardware.clock import CycleClock
+
+#: Conventional vector assignments for the simulated platform.
+VECTOR_TIMER = 32
+VECTOR_DISK = 33
+VECTOR_NIC = 34
+
+NUM_VECTORS = 256
+
+
+class InterruptController:
+    """Level-style pending bitmap plus a vector-to-handler table."""
+
+    def __init__(self, clock: CycleClock):
+        self.clock = clock
+        self._handlers: dict[int, Callable[[int], None]] = {}
+        self._pending: list[int] = []
+
+    def register(self, vector: int, handler: Callable[[int], None]) -> None:
+        if not 0 <= vector < NUM_VECTORS:
+            raise HardwareError(f"vector {vector} out of range")
+        self._handlers[vector] = handler
+
+    def raise_irq(self, vector: int) -> None:
+        if not 0 <= vector < NUM_VECTORS:
+            raise HardwareError(f"vector {vector} out of range")
+        self._pending.append(vector)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def dispatch_pending(self) -> int:
+        """Deliver all pending interrupts in raise order; returns count."""
+        delivered = 0
+        while self._pending:
+            vector = self._pending.pop(0)
+            handler = self._handlers.get(vector)
+            if handler is None:
+                raise HardwareError(f"unhandled interrupt vector {vector}")
+            self.clock.charge("interrupt_delivery")
+            handler(vector)
+            delivered += 1
+        return delivered

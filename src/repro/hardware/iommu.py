@@ -1,0 +1,80 @@
+"""IOMMU: the DMA remapping unit guarding device access to physical memory.
+
+DMA is one of the paper's attack vectors (section 2.2.1): a hostile kernel
+could program a device to copy ghost frames out to somewhere it can read.
+SVA configures the IOMMU so that frames holding ghost memory or SVA-internal
+data are never DMA-accessible, and mediates all accesses to the IOMMU's own
+configuration interface (port-mapped here).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IOMMUFault
+from repro.hardware.clock import CycleClock
+from repro.hardware.ioports import IOPortSpace
+
+#: Port-mapped configuration registers of the IOMMU.
+IOMMU_PORT_BASE = 0xE0
+IOMMU_PORT_COUNT = 4
+_PORT_CMD = IOMMU_PORT_BASE          # command: 1=allow frame, 2=deny frame
+_PORT_FRAME = IOMMU_PORT_BASE + 1    # operand: frame number
+
+CMD_ALLOW = 1
+CMD_DENY = 2
+
+
+class IOMMU:
+    """Frame-granularity allow/deny table consulted on every DMA access.
+
+    Policy model: a frame is DMA-accessible unless it has been denied.
+    SVA denies frames when they become ghost/SVA-internal and re-allows
+    them when they are returned to the OS. The *configuration interface*
+    (the ports) is what a hostile kernel would attack; under Virtual Ghost
+    those port accesses only happen through ``sva.io.write``, which refuses
+    to forward IOMMU commands originating from the kernel.
+    """
+
+    def __init__(self, clock: CycleClock):
+        self.clock = clock
+        self._denied: set[int] = set()
+        self._pending_frame = 0
+
+    def attach_ports(self, ports: IOPortSpace) -> None:
+        ports.register(IOMMU_PORT_BASE, IOMMU_PORT_COUNT,
+                       self._port_read, self._port_write, "iommu")
+
+    # -- configuration (trusted path: called by SVA; hostile path: via ports)
+
+    def deny_frame(self, frame_number: int) -> None:
+        self._denied.add(frame_number)
+
+    def allow_frame(self, frame_number: int) -> None:
+        self._denied.discard(frame_number)
+
+    def is_denied(self, frame_number: int) -> bool:
+        return frame_number in self._denied
+
+    # -- enforcement -----------------------------------------------------------
+
+    def check_dma(self, frame_number: int, *, write: bool) -> None:
+        """Validate one frame of a DMA transfer; raise IOMMUFault if denied."""
+        if frame_number in self._denied:
+            direction = "to" if write else "from"
+            raise IOMMUFault(
+                f"DMA {direction} protected frame {frame_number:#x} blocked")
+
+    # -- port interface (the attack surface) -------------------------------------
+
+    def _port_read(self, port: int) -> int:
+        if port == _PORT_FRAME:
+            return self._pending_frame
+        return 0
+
+    def _port_write(self, port: int, value: int) -> None:
+        if port == _PORT_FRAME:
+            self._pending_frame = value
+        elif port == _PORT_CMD:
+            if value == CMD_ALLOW:
+                self.allow_frame(self._pending_frame)
+            elif value == CMD_DENY:
+                self.deny_frame(self._pending_frame)

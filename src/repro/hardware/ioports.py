@@ -1,0 +1,60 @@
+"""Port-mapped I/O space.
+
+Devices register handlers for port ranges. The paper's SVA-OS provides
+``sva.io.read``/``sva.io.write`` instructions that wrap these accesses with
+run-time checks (most importantly: refusing writes that would reconfigure
+the IOMMU to expose ghost frames); the raw port space lives here and the
+checks live in :mod:`repro.core.vm`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import HardwareError
+from repro.hardware.clock import CycleClock
+
+ReadHandler = Callable[[int], int]
+WriteHandler = Callable[[int, int], None]
+
+
+class IOPortSpace:
+    """16-bit port space with per-range device handlers."""
+
+    def __init__(self, clock: CycleClock):
+        self.clock = clock
+        # list of (start, end_exclusive, read_handler, write_handler, name)
+        self._ranges: list[tuple[int, int, ReadHandler, WriteHandler, str]] = []
+
+    def register(self, start: int, count: int, read: ReadHandler,
+                 write: WriteHandler, name: str) -> None:
+        end = start + count
+        if not 0 <= start < end <= 0x10000:
+            raise HardwareError(f"bad port range {start:#x}+{count}")
+        for other_start, other_end, _, _, other_name in self._ranges:
+            if start < other_end and other_start < end:
+                raise HardwareError(
+                    f"port range for {name!r} overlaps {other_name!r}")
+        self._ranges.append((start, end, read, write, name))
+
+    def owner(self, port: int) -> str | None:
+        """Name of the device owning a port, or None."""
+        for start, end, _, _, name in self._ranges:
+            if start <= port < end:
+                return name
+        return None
+
+    def read(self, port: int) -> int:
+        self.clock.charge("pio")
+        for start, end, read, _, _ in self._ranges:
+            if start <= port < end:
+                return read(port)
+        raise HardwareError(f"read from unassigned port {port:#x}")
+
+    def write(self, port: int, value: int) -> None:
+        self.clock.charge("pio")
+        for start, end, _, write, _ in self._ranges:
+            if start <= port < end:
+                write(port, value)
+                return
+        raise HardwareError(f"write to unassigned port {port:#x}")

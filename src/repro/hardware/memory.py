@@ -1,0 +1,93 @@
+"""Physical memory: a flat array of 4 KiB frames.
+
+Frames are materialized lazily (a machine with 16 GiB of installed RAM does
+not allocate 16 GiB of Python bytearrays). The hardware layer knows nothing
+about ownership -- frame allocation policy lives in the kernel, and the
+Virtual Ghost VM tracks which frames back ghost memory.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PhysicalMemoryError
+
+#: Page/frame size in bytes, matching x86-64 4 KiB pages.
+PAGE_SIZE = 4096
+
+_WORD = 8
+
+
+class PhysicalMemory:
+    """Byte-addressable physical memory of ``num_frames`` 4 KiB frames."""
+
+    def __init__(self, num_frames: int):
+        if num_frames <= 0:
+            raise ValueError("physical memory needs at least one frame")
+        self.num_frames = num_frames
+        self.size = num_frames * PAGE_SIZE
+        self._frames: dict[int, bytearray] = {}
+
+    # -- frame-level interface ------------------------------------------------
+
+    def frame(self, frame_number: int) -> bytearray:
+        """Return (materializing if needed) the backing store of a frame."""
+        if not 0 <= frame_number < self.num_frames:
+            raise PhysicalMemoryError(
+                f"frame {frame_number:#x} out of range "
+                f"(installed: {self.num_frames:#x} frames)")
+        store = self._frames.get(frame_number)
+        if store is None:
+            store = bytearray(PAGE_SIZE)
+            self._frames[frame_number] = store
+        return store
+
+    def zero_frame(self, frame_number: int) -> None:
+        """Clear a frame to all-zero bytes."""
+        self.frame(frame_number)[:] = bytes(PAGE_SIZE)
+
+    def is_materialized(self, frame_number: int) -> bool:
+        """True when the frame has been touched (diagnostics only)."""
+        return frame_number in self._frames
+
+    # -- byte-level interface ---------------------------------------------------
+
+    def read(self, paddr: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at physical address ``paddr``."""
+        self._check_range(paddr, length)
+        out = bytearray()
+        remaining = length
+        addr = paddr
+        while remaining > 0:
+            frame_number, offset = divmod(addr, PAGE_SIZE)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            out += self.frame(frame_number)[offset:offset + chunk]
+            addr += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, paddr: int, data: bytes) -> None:
+        """Write ``data`` starting at physical address ``paddr``."""
+        self._check_range(paddr, len(data))
+        addr = paddr
+        view = memoryview(data)
+        while view.nbytes > 0:
+            frame_number, offset = divmod(addr, PAGE_SIZE)
+            chunk = min(view.nbytes, PAGE_SIZE - offset)
+            self.frame(frame_number)[offset:offset + chunk] = view[:chunk]
+            addr += chunk
+            view = view[chunk:]
+
+    def read_word(self, paddr: int) -> int:
+        """Read one little-endian 64-bit word."""
+        return int.from_bytes(self.read(paddr, _WORD), "little")
+
+    def write_word(self, paddr: int, value: int) -> None:
+        """Write one little-endian 64-bit word."""
+        self.write(paddr, (value & (2 ** 64 - 1)).to_bytes(_WORD, "little"))
+
+    def _check_range(self, paddr: int, length: int) -> None:
+        if length < 0:
+            raise ValueError(f"negative length {length}")
+        if paddr < 0 or paddr + length > self.size:
+            raise PhysicalMemoryError(
+                f"physical access [{paddr:#x}, {paddr + length:#x}) outside "
+                f"installed memory ({self.size:#x} bytes)")

@@ -1,0 +1,228 @@
+"""MMU: 4-level page tables in physical memory, a TLB, and access checks.
+
+The layout mirrors x86-64 long mode: 48-bit virtual addresses, four levels
+of 512-entry tables (9 bits per level), 4 KiB pages. Page-table entries
+live *inside simulated physical memory*, which is what makes the paper's
+MMU attack vector real here: whoever can write those words can remap
+anything -- unless, under Virtual Ghost, every update is funneled through
+the SVA-OS MMU operations and their policy checks.
+
+The hardware itself only ever *reads* the tables (the page-table walker).
+Writing entries is done with :class:`PageTableEditor`, used exclusively by
+the SVA VM (trusted) on behalf of the kernel.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationFault
+from repro.hardware.clock import CycleClock
+from repro.hardware.memory import PAGE_SIZE, PhysicalMemory
+
+# PTE flag bits (x86-64 names)
+PTE_PRESENT = 1 << 0
+PTE_WRITE = 1 << 1
+PTE_USER = 1 << 2
+PTE_NX = 1 << 63
+
+_PTE_FRAME_MASK = 0x000F_FFFF_FFFF_F000
+_ENTRIES = 512
+_LEVEL_SHIFTS = (39, 30, 21, 12)
+_VA_MASK = (1 << 48) - 1
+
+#: TLB capacity; on overflow the TLB is cleared (deterministic, simple).
+TLB_CAPACITY = 8192
+
+
+def make_pte(frame_number: int, flags: int) -> int:
+    """Build a PTE word from a frame number and flag bits."""
+    return ((frame_number * PAGE_SIZE) & _PTE_FRAME_MASK) | flags
+
+
+def pte_frame(pte: int) -> int:
+    """Extract the frame number from a PTE word."""
+    return (pte & _PTE_FRAME_MASK) // PAGE_SIZE
+
+
+def vpn_indices(vaddr: int) -> tuple[int, int, int, int]:
+    """Split a virtual address into its four table indices (L4..L1)."""
+    va = vaddr & _VA_MASK
+    return tuple((va >> shift) & (_ENTRIES - 1) for shift in _LEVEL_SHIFTS)  # type: ignore[return-value]
+
+
+class MMU:
+    """Translation engine: walks tables in physical memory, caches in a TLB."""
+
+    def __init__(self, phys: PhysicalMemory, clock: CycleClock):
+        self.phys = phys
+        self.clock = clock
+        self.root = 0                      # physical address of the L4 table
+        self._tlb: dict[tuple[int, int], tuple[int, int]] = {}
+
+    # -- control ---------------------------------------------------------------
+
+    def set_root(self, root_paddr: int) -> None:
+        """Load a new top-level table (CR3 write); flushes the TLB."""
+        if root_paddr % PAGE_SIZE:
+            raise ValueError(f"page-table root {root_paddr:#x} not page-aligned")
+        self.root = root_paddr
+        self.flush_tlb()
+
+    def flush_tlb(self) -> None:
+        self._tlb.clear()
+        self.clock.charge("tlb_flush")
+
+    def invalidate(self, vaddr: int) -> None:
+        """invlpg: drop one translation from the TLB."""
+        self._tlb.pop((self.root, (vaddr & _VA_MASK) // PAGE_SIZE), None)
+
+    # -- translation -------------------------------------------------------------
+
+    def translate(self, vaddr: int, *, write: bool = False, user: bool = False,
+                  execute: bool = False) -> int:
+        """Translate a virtual address; raise TranslationFault on failure."""
+        vpn = (vaddr & _VA_MASK) // PAGE_SIZE
+        offset = vaddr & (PAGE_SIZE - 1)
+        cached = self._tlb.get((self.root, vpn))
+        if cached is not None:
+            frame, flags = cached
+            self.clock.charge("tlb_hit")
+        else:
+            frame, flags = self._walk(vaddr)
+            if len(self._tlb) >= TLB_CAPACITY:
+                self._tlb.clear()
+            self._tlb[(self.root, vpn)] = (frame, flags)
+        self._check_access(vaddr, flags, write=write, user=user,
+                           execute=execute)
+        return frame * PAGE_SIZE + offset
+
+    def probe(self, vaddr: int) -> tuple[int, int] | None:
+        """Walk without charging or faulting: (frame, flags) or None.
+
+        Used by the SVA VM for policy decisions and by diagnostics; never by
+        the untrusted kernel directly.
+        """
+        try:
+            return self._walk(vaddr, charge=False)
+        except TranslationFault:
+            return None
+
+    def _walk(self, vaddr: int, *, charge: bool = True) -> tuple[int, int]:
+        if charge:
+            self.clock.charge("ptw")
+        table = self.root
+        flags_accumulator = PTE_WRITE | PTE_USER
+        nx = 0
+        for level, index in zip((4, 3, 2, 1), vpn_indices(vaddr)):
+            pte = self.phys.read_word(table + index * 8)
+            if not pte & PTE_PRESENT:
+                raise TranslationFault(vaddr)
+            flags_accumulator &= pte
+            nx |= pte & PTE_NX
+            if level == 1:
+                frame = pte_frame(pte)
+                flags = (PTE_PRESENT | (flags_accumulator
+                                        & (PTE_WRITE | PTE_USER)) | nx)
+                return frame, flags
+            table = pte_frame(pte) * PAGE_SIZE
+        raise AssertionError("unreachable: walk must end at level 1")
+
+    @staticmethod
+    def _check_access(vaddr: int, flags: int, *, write: bool, user: bool,
+                      execute: bool) -> None:
+        if write and not flags & PTE_WRITE:
+            raise TranslationFault(vaddr, write=True, user=user, present=True)
+        if user and not flags & PTE_USER:
+            raise TranslationFault(vaddr, write=write, user=True, present=True)
+        if execute and flags & PTE_NX:
+            raise TranslationFault(vaddr, user=user, present=True)
+
+
+class PageTableEditor:
+    """Creates and edits page tables stored in physical memory.
+
+    This is the mechanism beneath the SVA-OS MMU instructions. It needs a
+    frame supplier (the kernel's physical allocator, passed as a callable)
+    for intermediate table frames.
+    """
+
+    def __init__(self, phys: PhysicalMemory, clock: CycleClock):
+        self.phys = phys
+        self.clock = clock
+
+    def new_table(self, frame_supplier) -> int:
+        """Allocate and zero a top-level (or any-level) table frame.
+
+        Returns the table's physical address.
+        """
+        frame = frame_supplier()
+        self.phys.zero_frame(frame)
+        self.clock.charge("zero_page")
+        return frame * PAGE_SIZE
+
+    def map_page(self, root_paddr: int, vaddr: int, frame_number: int,
+                 flags: int, frame_supplier) -> None:
+        """Install a 4 KiB mapping, creating intermediate tables as needed.
+
+        Intermediate entries are created with the most permissive flags
+        (present|write|user); restriction happens at the leaf, as is
+        conventional for x86-64 OS kernels.
+        """
+        table = root_paddr
+        indices = vpn_indices(vaddr)
+        for index in indices[:-1]:
+            entry_addr = table + index * 8
+            pte = self.phys.read_word(entry_addr)
+            if not pte & PTE_PRESENT:
+                new_frame = frame_supplier()
+                self.phys.zero_frame(new_frame)
+                self.clock.charge("zero_page")
+                pte = make_pte(new_frame, PTE_PRESENT | PTE_WRITE | PTE_USER)
+                self.phys.write_word(entry_addr, pte)
+                self.clock.charge("mmu_update")
+            table = pte_frame(pte) * PAGE_SIZE
+        leaf_addr = table + indices[-1] * 8
+        self.phys.write_word(leaf_addr, make_pte(frame_number,
+                                                 flags | PTE_PRESENT))
+        self.clock.charge("mmu_update")
+
+    def unmap_page(self, root_paddr: int, vaddr: int) -> int | None:
+        """Clear a leaf mapping; returns the frame it held, or None."""
+        leaf_addr = self._leaf_entry_addr(root_paddr, vaddr)
+        if leaf_addr is None:
+            return None
+        pte = self.phys.read_word(leaf_addr)
+        if not pte & PTE_PRESENT:
+            return None
+        self.phys.write_word(leaf_addr, 0)
+        self.clock.charge("mmu_update")
+        return pte_frame(pte)
+
+    def read_leaf(self, root_paddr: int, vaddr: int) -> int | None:
+        """Return the raw leaf PTE for an address, or None if unmapped."""
+        leaf_addr = self._leaf_entry_addr(root_paddr, vaddr)
+        if leaf_addr is None:
+            return None
+        pte = self.phys.read_word(leaf_addr)
+        return pte if pte & PTE_PRESENT else None
+
+    def set_leaf_flags(self, root_paddr: int, vaddr: int, flags: int) -> None:
+        """Rewrite the flag bits of an existing leaf mapping."""
+        leaf_addr = self._leaf_entry_addr(root_paddr, vaddr)
+        if leaf_addr is None:
+            raise TranslationFault(vaddr)
+        pte = self.phys.read_word(leaf_addr)
+        if not pte & PTE_PRESENT:
+            raise TranslationFault(vaddr)
+        self.phys.write_word(leaf_addr,
+                             make_pte(pte_frame(pte), flags | PTE_PRESENT))
+        self.clock.charge("mmu_update")
+
+    def _leaf_entry_addr(self, root_paddr: int, vaddr: int) -> int | None:
+        table = root_paddr
+        indices = vpn_indices(vaddr)
+        for index in indices[:-1]:
+            pte = self.phys.read_word(table + index * 8)
+            if not pte & PTE_PRESENT:
+                return None
+            table = pte_frame(pte) * PAGE_SIZE
+        return table + indices[-1] * 8

@@ -1,0 +1,68 @@
+"""NIC and link model.
+
+The paper's network experiments use a dedicated gigabit link between the
+server under test and a client machine. Here both ends live on the same
+simulated timeline: the server's NIC charges wire time per byte plus a
+fixed per-packet cost (driver + DMA ring work), and the peer is any object
+with a ``deliver(payload)`` method -- usually a lightweight traffic
+generator standing in for the client machine (whose own compute time the
+paper does not measure).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.hardware.clock import CycleClock
+
+#: Maximum transmission unit; payloads are segmented into MTU-sized packets
+#: for cost purposes.
+MTU = 1500
+
+
+class Endpoint(Protocol):
+    def deliver(self, payload: bytes) -> None:
+        """Receive one payload from the wire."""
+
+
+class NIC:
+    """One network interface with an rx queue and an attached peer."""
+
+    def __init__(self, clock: CycleClock, name: str = "nic0"):
+        self.clock = clock
+        self.name = name
+        self.peer: Endpoint | None = None
+        self.rx_queue: list[bytes] = []
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+
+    def attach_peer(self, peer: Endpoint) -> None:
+        self.peer = peer
+
+    def send(self, payload: bytes) -> None:
+        """Transmit a payload; charges per-packet + per-byte wire time."""
+        if self.peer is None:
+            raise RuntimeError(f"{self.name}: no peer attached")
+        packets = max(1, -(-len(payload) // MTU))
+        self.clock.charge("nic_per_packet", packets)
+        self.clock.charge("nic_per_byte", len(payload))
+        self.tx_bytes += len(payload)
+        self.peer.deliver(payload)
+
+    def deliver(self, payload: bytes) -> None:
+        """Called by the wire when a payload arrives for this NIC."""
+        packets = max(1, -(-len(payload) // MTU))
+        self.clock.charge("nic_per_packet", packets)
+        self.clock.charge("nic_per_byte", len(payload))
+        self.rx_bytes += len(payload)
+        self.rx_queue.append(payload)
+
+    def receive(self) -> bytes | None:
+        """Pop the next received payload, or None when idle."""
+        if self.rx_queue:
+            return self.rx_queue.pop(0)
+        return None
+
+    @property
+    def has_rx(self) -> bool:
+        return bool(self.rx_queue)

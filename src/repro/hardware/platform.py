@@ -1,0 +1,73 @@
+"""Machine assembly: wires every hardware component to one cycle clock.
+
+``Machine`` is the root object the rest of the system builds on: the SVA
+VM boots on a machine; the kernel boots on the SVA VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.clock import CostModel, CycleClock
+from repro.hardware.cpu import CPU
+from repro.hardware.devices import Console
+from repro.hardware.disk import SECTOR_SIZE, Disk
+from repro.hardware.dma import DMAEngine
+from repro.hardware.interrupts import InterruptController
+from repro.hardware.iommu import IOMMU
+from repro.hardware.ioports import IOPortSpace
+from repro.hardware.memory import PAGE_SIZE, PhysicalMemory
+from repro.hardware.mmu import MMU, PageTableEditor
+from repro.hardware.nic import NIC
+from repro.hardware.tpm import TPM
+
+
+@dataclass
+class MachineConfig:
+    """Sizing knobs for a simulated machine.
+
+    Defaults are deliberately small (a few MiB) so unit tests are fast;
+    the benchmark harness builds bigger machines.
+    """
+
+    memory_frames: int = 4096          # 16 MiB of RAM
+    disk_sectors: int = 65536          # 32 MiB disk
+    serial: bytes = b"vg-machine-0"
+    costs: CostModel | None = None
+
+
+class Machine:
+    """A complete simulated computer."""
+
+    def __init__(self, config: MachineConfig | None = None):
+        self.config = config or MachineConfig()
+        self.clock = CycleClock(self.config.costs)
+        self.phys = PhysicalMemory(self.config.memory_frames)
+        self.cpu = CPU()
+        self.mmu = MMU(self.phys, self.clock)
+        self.pt_editor = PageTableEditor(self.phys, self.clock)
+        self.ports = IOPortSpace(self.clock)
+        self.iommu = IOMMU(self.clock)
+        self.iommu.attach_ports(self.ports)
+        self.dma = DMAEngine(self.phys, self.iommu, self.clock)
+        self.interrupts = InterruptController(self.clock)
+        self.disk = Disk(self.config.disk_sectors, self.clock)
+        self.nic = NIC(self.clock)
+        self.tpm = TPM(self.clock, serial=self.config.serial)
+        self.console = Console()
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.phys.size
+
+    @property
+    def disk_bytes(self) -> int:
+        return self.disk.num_sectors * SECTOR_SIZE
+
+    def load_page_table(self, root_paddr: int) -> None:
+        """CR3 write: point the MMU at a new address space."""
+        self.cpu.cr3 = root_paddr
+        self.mmu.set_root(root_paddr)
+
+
+__all__ = ["Machine", "MachineConfig", "PAGE_SIZE"]

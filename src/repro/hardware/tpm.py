@@ -1,0 +1,52 @@
+"""Trusted Platform Module: sealed storage rooted in a hardware key.
+
+The paper's key chain starts here: "the storage key held in the TPM is
+used to encrypt and decrypt the private key used by Virtual Ghost"
+(section 4.4). Our TPM holds a machine-unique storage key that never
+leaves the device; `seal`/`unseal` provide authenticated encryption under
+it. The simulated OS has no API to extract the storage key -- only the SVA
+VM talks to the TPM, during boot.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.signing import authenticated_decrypt, authenticated_encrypt
+from repro.hardware.clock import CycleClock
+
+
+class TPM:
+    """Minimal TPM: a storage key plus seal/unseal and entropy."""
+
+    def __init__(self, clock: CycleClock, *, serial: bytes):
+        self.clock = clock
+        # Machine-unique, derived from the device serial; private attribute
+        # by convention (nothing in the simulated OS references it).
+        self._storage_key = hmac_sha256(b"tpm-storage-key", serial)[:16]
+        self._monotonic = 0
+
+    def seal(self, data: bytes) -> bytes:
+        """Encrypt+MAC ``data`` under the storage key."""
+        self._monotonic += 1
+        nonce = hmac_sha256(self._storage_key,
+                            b"seal-nonce" + self._monotonic.to_bytes(8, "big"))[:16]
+        self.clock.charge("aes_block", max(1, len(data) // 16))
+        return authenticated_encrypt(self._storage_key, data, nonce)
+
+    def unseal(self, blob: bytes) -> bytes:
+        """Verify and decrypt a sealed blob; raises SignatureError if forged."""
+        self.clock.charge("aes_block", max(1, len(blob) // 16))
+        return authenticated_decrypt(self._storage_key, blob)
+
+    def entropy(self, length: int) -> bytes:
+        """Hardware entropy source (deterministic in simulation)."""
+        self._monotonic += 1
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            out += hmac_sha256(
+                self._storage_key,
+                b"entropy" + self._monotonic.to_bytes(8, "big")
+                + counter.to_bytes(4, "big"))
+            counter += 1
+        return bytes(out[:length])

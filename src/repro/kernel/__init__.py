@@ -1,0 +1,26 @@
+"""A miniature monolithic Unix-like kernel, ported to SVA-OS.
+
+This is the *untrusted* component of the system -- the analogue of the
+paper's FreeBSD 9.0 port. It provides processes and threads, a scheduler,
+a VFS with an on-disk filesystem, pipes and device nodes, signals,
+``mmap`` with demand paging, sockets over the virtual NIC, and loadable
+kernel modules (compiled through the Virtual Ghost toolchain).
+
+Discipline enforced throughout (checked by tests):
+
+* every page-table update goes through ``SVAVM.mmu_*``;
+* every trap entry/exit goes through ``SVAVM.trap_enter``/``trap_exit``;
+* every access to user-supplied addresses goes through
+  :class:`~repro.kernel.context.KernelContext` (``copyin``/``copyout``),
+  which applies the load/store sandboxing when Virtual Ghost is active;
+* kernel modules execute only as instrumented native code on the
+  interpreter.
+
+Kernel *logic* runs as Python, with its work charged to the cycle clock
+through the same context, so "native vs Virtual Ghost" timing differences
+are emergent from the extra primitives the instrumentation executes.
+"""
+
+from repro.kernel.kernel import Kernel
+
+__all__ = ["Kernel"]

@@ -1,0 +1,37 @@
+"""Blocking control-flow: the WouldBlock exception and wait channels.
+
+A syscall handler that cannot complete raises :class:`WouldBlock` with a
+wait channel token; the scheduler parks the thread and re-executes the
+syscall when the channel is woken (syscall-restart semantics, as BSD does
+for interruptible sleeps).
+"""
+
+from __future__ import annotations
+
+
+class WouldBlock(Exception):
+    """Raised by syscall handlers to park the calling thread."""
+
+    def __init__(self, channel: object):
+        self.channel = channel
+        super().__init__(f"blocked on {channel!r}")
+
+
+def pipe_read_channel(pipe) -> tuple:
+    return ("pipe_read", id(pipe))
+
+
+def pipe_write_channel(pipe) -> tuple:
+    return ("pipe_write", id(pipe))
+
+
+def socket_channel(conn) -> tuple:
+    return ("socket", id(conn))
+
+
+def accept_channel(listener) -> tuple:
+    return ("accept", id(listener))
+
+
+def wait_channel(pid: int) -> tuple:
+    return ("wait", pid)

@@ -1,0 +1,180 @@
+"""Kernel execution context: instrumented memory access + work accounting.
+
+Real Virtual Ghost instruments every kernel load/store at compile time.
+Our kernel's *logic* is Python, so the same two effects are produced here,
+at the only place kernel code touches simulated memory:
+
+* **functional sandboxing** -- ``copyin``/``copyout``/``read_virt``/
+  ``write_virt`` apply :func:`~repro.core.layout.mask_address` to the
+  target address when sandboxing is enabled. A kernel access to a ghost
+  address is physically redirected to the unmapped dead zone: reads
+  return zeros ("unknown data"), writes vanish. This is not a permission
+  check -- it is the same address arithmetic the compiled instrumentation
+  performs, applied unconditionally.
+
+* **cost accounting** -- ``work(mem=..., ops=...)`` charges the cycles a
+  C implementation of the surrounding kernel path would spend; when
+  sandboxing/CFI are on, each memory access additionally pays the mask
+  cost and each return/indirect call the CFI-check cost. Overheads are
+  therefore proportional to the *shape* of each kernel path.
+
+Kernel *modules* do not use this class for their own code -- they run on
+the interpreter where the instrumentation is physically present in the
+instruction stream -- but their memory accesses resolve through the same
+:class:`SupervisorMemoryPort` below.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import VGConfig
+from repro.core.layout import mask_address
+from repro.errors import TranslationFault
+from repro.hardware.memory import PAGE_SIZE
+from repro.hardware.platform import Machine
+
+_U64 = (1 << 64) - 1
+
+
+class SupervisorMemoryPort:
+    """Raw supervisor-privilege memory access through the current MMU root.
+
+    Accesses to unmapped addresses do not panic: reads return zeros and
+    writes are dropped (both counted). This models what the paper
+    describes after masking -- "the kernel simply reads unknown data out
+    of its own address space" -- without requiring the dead zone to be
+    backed by frames.
+    """
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.stray_reads = 0
+        self.stray_writes = 0
+        #: set by the kernel: fault_in(vaddr, write) -> bool materializes
+        #: a demand-paged user page (the copyout fault-handler path)
+        self.fault_in = None
+
+    # -- byte interface -----------------------------------------------------
+
+    def read_bytes(self, vaddr: int, length: int) -> bytes:
+        out = bytearray()
+        cursor = vaddr & _U64
+        remaining = length
+        while remaining > 0:
+            chunk = min(remaining, PAGE_SIZE - (cursor % PAGE_SIZE))
+            try:
+                paddr = self._translate(cursor, write=False)
+                out += self.machine.phys.read(paddr, chunk)
+            except TranslationFault:
+                self.stray_reads += 1
+                out += bytes(chunk)
+            cursor = (cursor + chunk) & _U64
+            remaining -= chunk
+        return bytes(out)
+
+    def write_bytes(self, vaddr: int, data: bytes) -> None:
+        cursor = vaddr & _U64
+        view = memoryview(data)
+        while view.nbytes > 0:
+            chunk = min(view.nbytes, PAGE_SIZE - (cursor % PAGE_SIZE))
+            try:
+                paddr = self._translate(cursor, write=True)
+                self.machine.phys.write(paddr, bytes(view[:chunk]))
+            except TranslationFault:
+                self.stray_writes += 1
+            cursor = (cursor + chunk) & _U64
+            view = view[chunk:]
+
+    def _translate(self, vaddr: int, *, write: bool) -> int:
+        try:
+            return self.machine.mmu.translate(vaddr, write=write)
+        except TranslationFault:
+            if self.fault_in is not None and self.fault_in(vaddr, write):
+                return self.machine.mmu.translate(vaddr, write=write)
+            raise
+
+    # -- MemoryPort protocol (used by the module interpreter) -----------------
+
+    def load(self, addr: int, width: int) -> int:
+        return int.from_bytes(self.read_bytes(addr, width), "little")
+
+    def store(self, addr: int, width: int, value: int) -> None:
+        self.write_bytes(addr, (value & ((1 << (8 * width)) - 1))
+                         .to_bytes(width, "little"))
+
+    def copy(self, dst: int, src: int, length: int) -> None:
+        self.write_bytes(dst, self.read_bytes(src, length))
+
+    def fill(self, dst: int, byte: int, length: int) -> None:
+        self.write_bytes(dst, bytes([byte & 0xFF]) * length)
+
+
+class KernelContext:
+    """Cost-charging + sandboxed memory access for Python kernel paths."""
+
+    def __init__(self, machine: Machine, config: VGConfig):
+        self.machine = machine
+        self.clock = machine.clock
+        self.config = config
+        self.port = SupervisorMemoryPort(machine)
+        self.masked_accesses = 0
+
+    # -- work accounting -------------------------------------------------------
+
+    def work(self, mem: int = 0, ops: int = 0, rets: int = 0,
+             icalls: int = 0) -> None:
+        """Charge the cycles of a modeled kernel path segment.
+
+        ``mem`` counts loads/stores, ``ops`` plain instructions, ``rets``
+        function returns, ``icalls`` indirect calls. Instrumentation costs
+        are added per-unit when the corresponding protection is active.
+        """
+        if mem:
+            self.clock.charge("mem_access", mem)
+            if self.config.sandboxing:
+                self.clock.charge("mask_check", mem)
+        if ops:
+            self.clock.charge("instr", ops)
+        if rets or icalls:
+            self.clock.charge("ret", rets)
+            self.clock.charge("indirect_call", icalls)
+            if self.config.cfi:
+                self.clock.charge("cfi_check", rets + icalls)
+
+    # -- instrumented bulk access ---------------------------------------------
+
+    def _sandbox(self, vaddr: int) -> int:
+        if not self.config.sandboxing:
+            return vaddr & _U64
+        masked = mask_address(vaddr)
+        if masked != (vaddr & _U64):
+            self.masked_accesses += 1
+        return masked
+
+    def read_virt(self, vaddr: int, length: int) -> bytes:
+        """Kernel read of ``length`` bytes at a virtual address."""
+        self.clock.charge("copy_call")
+        if self.config.sandboxing:
+            self.clock.charge("mask_check_bulk")
+        self.clock.charge("copy_per_word", max(1, (length + 7) // 8))
+        return self.port.read_bytes(self._sandbox(vaddr), length)
+
+    def write_virt(self, vaddr: int, data: bytes) -> None:
+        """Kernel write of ``data`` at a virtual address."""
+        self.clock.charge("copy_call")
+        if self.config.sandboxing:
+            self.clock.charge("mask_check_bulk")
+        self.clock.charge("copy_per_word", max(1, (len(data) + 7) // 8))
+        self.port.write_bytes(self._sandbox(vaddr), data)
+
+    # copyin/copyout are the user<->kernel data boundary; same mechanics,
+    # named for what they mean in kernel code.
+    copyin = read_virt
+    copyout = write_virt
+
+    @property
+    def stray_reads(self) -> int:
+        return self.port.stray_reads
+
+    @property
+    def stray_writes(self) -> int:
+        return self.port.stray_writes

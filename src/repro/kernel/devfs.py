@@ -1,0 +1,123 @@
+"""Device filesystem: /dev/null, /dev/zero, /dev/random, /dev/console.
+
+``/dev/random`` is the *kernel's* randomness source -- exactly the one
+the paper's Iago discussion distrusts. A hostile kernel can make it
+return anything (see :mod:`repro.attacks.iago`); ghosting applications
+should use the trusted ``sva_random`` instruction instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.crypto.drbg import HmacDRBG
+from repro.errors import SyscallError
+from repro.kernel.vfs import Vnode, VnodeType
+
+if TYPE_CHECKING:
+    from repro.hardware.devices import Console
+
+
+class DevNull(Vnode):
+    vtype = VnodeType.DEVICE
+
+    @property
+    def size(self) -> int:
+        return 0
+
+    def read(self, offset: int, length: int) -> bytes:
+        return b""
+
+    def write(self, offset: int, data: bytes) -> int:
+        return len(data)
+
+
+class DevZero(Vnode):
+    vtype = VnodeType.DEVICE
+
+    @property
+    def size(self) -> int:
+        return 0
+
+    def read(self, offset: int, length: int) -> bytes:
+        return bytes(length)
+
+    def write(self, offset: int, data: bytes) -> int:
+        return len(data)
+
+
+class DevRandom(Vnode):
+    """Kernel-controlled randomness; the OS can subvert it at will."""
+
+    vtype = VnodeType.DEVICE
+
+    def __init__(self, seed: bytes):
+        self._drbg = HmacDRBG(b"kernel-dev-random" + seed)
+        #: Attack hook: when set, this callable supplies the "random"
+        #: bytes instead of the DRBG (see the Iago attack module).
+        self.subversion: Callable[[int], bytes] | None = None
+
+    @property
+    def size(self) -> int:
+        return 0
+
+    def read(self, offset: int, length: int) -> bytes:
+        if self.subversion is not None:
+            return self.subversion(length)
+        return self._drbg.generate(length)
+
+    def write(self, offset: int, data: bytes) -> int:
+        self._drbg.reseed(data)
+        return len(data)
+
+
+class DevConsole(Vnode):
+    vtype = VnodeType.DEVICE
+
+    def __init__(self, console: "Console"):
+        self._console = console
+
+    @property
+    def size(self) -> int:
+        return 0
+
+    def read(self, offset: int, length: int) -> bytes:
+        raise SyscallError("EINVAL", "console is write-only")
+
+    def write(self, offset: int, data: bytes) -> int:
+        self._console.write(data.decode("utf-8", "replace"))
+        return len(data)
+
+
+class DevFS(Vnode):
+    """The /dev directory."""
+
+    vtype = VnodeType.DIRECTORY
+
+    def __init__(self, console: "Console", seed: bytes):
+        self._nodes: dict[str, Vnode] = {
+            "null": DevNull(),
+            "zero": DevZero(),
+            "random": DevRandom(seed),
+            "urandom": DevRandom(seed + b"u"),
+            "console": DevConsole(console),
+        }
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
+
+    def lookup(self, name: str) -> Vnode:
+        node = self._nodes.get(name)
+        if node is None:
+            raise SyscallError("ENOENT", f"/dev/{name}")
+        return node
+
+    def entries(self) -> list[str]:
+        return sorted(self._nodes)
+
+    @property
+    def random(self) -> DevRandom:
+        node = self._nodes["random"]
+        assert isinstance(node, DevRandom)
+        return node

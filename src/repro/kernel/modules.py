@@ -1,0 +1,135 @@
+"""Loadable kernel modules.
+
+Modules are written in the compiler's textual IR, translated by the SVA
+VM (with sandboxing + CFI under Virtual Ghost; uninstrumented in the
+native baseline -- same compiler, no passes), given a data segment and a
+kernel stack, and executed on the interpreter. A module may hook a system
+call: the hook function runs *instead of* the original handler, with an
+``orig_<name>`` extern to chain to it -- exactly how the paper's rootkit
+replaces ``read``.
+
+Host-provided externs model the kernel's exported symbol table. They are
+ordinary kernel functions; calling them from module code is a direct call
+(CFI-legal). What the module *cannot* do is reach ghost memory or SVA
+state through loads/stores, or redirect control flow -- the
+instrumentation in its own translated body stops both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.compiler.codegen import NativeImage
+from repro.compiler.interp import ExecutionLimits, Interpreter
+from repro.errors import KernelError
+from repro.hardware.memory import PAGE_SIZE
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+
+
+@dataclass
+class KernelModule:
+    name: str
+    image: NativeImage
+    interpreter: Interpreter
+    stack_top: int
+    instrumented: bool
+    hooks: dict[int, str] = field(default_factory=dict)   # sysnum -> func
+
+    def call(self, function: str, args: list[int]) -> int:
+        return self.interpreter.run(function, args)
+
+    def global_addr(self, name: str) -> int:
+        addr = self.image.global_addrs.get(name)
+        if addr is None:
+            raise KernelError(f"module {self.name}: no global @{name}")
+        return addr
+
+
+class ModuleLoader:
+    """Loads IR modules into the running kernel."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.modules: dict[str, KernelModule] = {}
+
+    def load(self, source: str, *,
+             extra_externs: dict[str, Callable[[list[int]], int]]
+             | None = None,
+             limits: ExecutionLimits | None = None) -> KernelModule:
+        """Translate, link, and initialize a module.
+
+        Under Virtual Ghost the translation is always instrumented -- the
+        kernel has no way to obtain uninstrumented native code, since the
+        VM is the only code generator and it signs its output.
+        """
+        vm = self.kernel.vm
+        instrumented = vm.config.sandboxing or vm.config.cfi
+        image = vm.translate_module(source, instrument=True)
+
+        self._map_data_segment(image)
+        self._initialize_globals(image)
+        stack_base = self.kernel.vmm.kalloc_stack(pages=4)
+        stack_top = stack_base + 4 * PAGE_SIZE
+
+        externs = self.kernel.standard_externs()
+        if extra_externs:
+            externs.update(extra_externs)
+        interpreter = vm.make_interpreter(
+            image, self.kernel.ctx.port, externs=externs,
+            stack_top=stack_top, limits=limits)
+
+        module = KernelModule(name=image.module_name, image=image,
+                              interpreter=interpreter, stack_top=stack_top,
+                              instrumented=instrumented)
+        if module.name in self.modules:
+            raise KernelError(f"module {module.name!r} already loaded")
+        self.modules[module.name] = module
+        self.kernel.ctx.work(mem=120, ops=220, rets=8, icalls=2)
+        return module
+
+    def install_syscall_hook(self, module: KernelModule, syscall_num: int,
+                             function: str) -> None:
+        """Replace a system-call handler with a module function."""
+        if function not in module.image.functions:
+            raise KernelError(
+                f"module {module.name}: no function @{function}")
+        module.hooks[syscall_num] = function
+        self.kernel.syscall_hooks[syscall_num] = (module, function)
+        self.kernel.ctx.work(mem=6, ops=8)
+
+    def remove_syscall_hook(self, syscall_num: int) -> None:
+        hook = self.kernel.syscall_hooks.pop(syscall_num, None)
+        if hook is not None:
+            hook[0].hooks.pop(syscall_num, None)
+
+    def unload(self, name: str) -> None:
+        module = self.modules.pop(name, None)
+        if module is None:
+            return
+        for syscall_num in list(module.hooks):
+            self.remove_syscall_hook(syscall_num)
+
+    # -- linking helpers -----------------------------------------------------------
+
+    def _map_data_segment(self, image: NativeImage) -> None:
+        if image.data_size == 0:
+            return
+        start = image.data_base & ~(PAGE_SIZE - 1)
+        end = image.data_base + image.data_size
+        vaddr = start
+        while vaddr < end:
+            frame = self.kernel.vmm.frames.alloc()
+            self.kernel.machine.phys.zero_frame(frame)
+            self.kernel.vm.mmu_map_page(self.kernel.kernel_root, vaddr,
+                                        frame, writable=True, user=False)
+            vaddr += PAGE_SIZE
+
+    def _initialize_globals(self, image: NativeImage) -> None:
+        port = self.kernel.ctx.port
+        for name, addr in image.global_addrs.items():
+            init = image.global_inits[name]
+            if init.strip(b"\x00"):
+                port.write_bytes(addr, init)

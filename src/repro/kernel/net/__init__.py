@@ -1,0 +1,13 @@
+"""Sockets over the virtual NIC.
+
+The remote end of every connection is a *peer* object on the same
+simulated timeline -- a traffic generator standing in for the client/
+server machine the paper's network experiments talk to. All bytes cross
+the simulated NIC and are charged wire time; the remote machine's own
+compute time is not modeled (the paper measures the system under test).
+"""
+
+from repro.kernel.net.stack import Connection, ListenSocket, NetworkStack
+from repro.kernel.net.socket import SocketVnode
+
+__all__ = ["NetworkStack", "Connection", "ListenSocket", "SocketVnode"]

@@ -1,0 +1,56 @@
+"""Socket vnodes: expose connections and listeners through the fd layer."""
+
+from __future__ import annotations
+
+from repro.errors import SyscallError
+from repro.kernel.net.stack import Connection, ListenSocket
+from repro.kernel.vfs import Vnode, VnodeType
+
+
+class SocketVnode(Vnode):
+    """A connected stream socket as a file descriptor target."""
+
+    vtype = VnodeType.SOCKET
+
+    def __init__(self, conn: Connection):
+        self.conn = conn
+
+    @property
+    def size(self) -> int:
+        return len(self.conn.rx_buffer)
+
+    def read(self, offset: int, length: int) -> bytes:
+        return self.conn.local_recv(length)
+
+    def write(self, offset: int, data: bytes) -> int:
+        return self.conn.local_send(data)
+
+    def close_socket(self) -> None:
+        self.conn.local_close()
+
+    @property
+    def readable_now(self) -> bool:
+        return self.conn.readable
+
+
+class ListenVnode(Vnode):
+    """A listening socket as a file descriptor target."""
+
+    vtype = VnodeType.SOCKET
+
+    def __init__(self, listener: ListenSocket):
+        self.listener = listener
+
+    @property
+    def size(self) -> int:
+        return len(self.listener.backlog)
+
+    def read(self, offset: int, length: int) -> bytes:
+        raise SyscallError("EINVAL", "read on listening socket")
+
+    def write(self, offset: int, data: bytes) -> int:
+        raise SyscallError("EINVAL", "write on listening socket")
+
+    @property
+    def readable_now(self) -> bool:
+        return self.listener.readable

@@ -1,0 +1,231 @@
+"""The network stack: listeners, connections, and remote peers."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from repro.errors import SyscallError
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+
+
+class RemotePeer(Protocol):
+    """The far end of a connection (runs on the same timeline).
+
+    ``on_data`` is invoked synchronously whenever the local machine
+    transmits; the peer may respond by calling ``conn.peer_send``.
+    """
+
+    def on_connect(self, conn: "Connection") -> None: ...
+    def on_data(self, conn: "Connection", data: bytes) -> None: ...
+    def on_close(self, conn: "Connection") -> None: ...
+
+
+class Connection:
+    """One established stream between the local machine and a peer."""
+
+    _next_id = 1
+
+    def __init__(self, stack: "NetworkStack", peer: RemotePeer):
+        self.stack = stack
+        self.peer = peer
+        self.conn_id = Connection._next_id
+        Connection._next_id += 1
+        self.rx_buffer = bytearray()      # bytes waiting for local recv
+        self.local_open = True
+        self.remote_open = True
+        #: loopback connections skip the NIC (but still pay copy costs)
+        self.via_nic = True
+
+    # -- local side (kernel syscalls) ---------------------------------------
+
+    def local_send(self, data: bytes) -> int:
+        if not self.local_open:
+            raise SyscallError("EPIPE", "send on closed socket")
+        if not self.remote_open:
+            raise SyscallError("ECONNRESET", "peer closed")
+        if self.via_nic:
+            self.stack.nic.send(data)
+        self.peer.on_data(self, data)
+        return len(data)
+
+    def local_recv(self, length: int) -> bytes:
+        taken = bytes(self.rx_buffer[:length])
+        del self.rx_buffer[:length]
+        return taken
+
+    def local_close(self) -> None:
+        if self.local_open:
+            self.local_open = False
+            self.peer.on_close(self)
+
+    # -- peer side (called by traffic generators) --------------------------------
+
+    def peer_send(self, data: bytes) -> None:
+        """Peer transmits towards the local machine."""
+        self.stack.nic.deliver(data)
+        # consume immediately into the connection buffer
+        self.stack.nic.receive()
+        self.rx_buffer += data
+        self.stack.kernel.scheduler.wake(("socket", id(self)))
+
+    def peer_close(self) -> None:
+        self.remote_open = False
+        self.stack.kernel.scheduler.wake(("socket", id(self)))
+
+    # -- status ----------------------------------------------------------------
+
+    @property
+    def readable(self) -> bool:
+        return bool(self.rx_buffer) or not self.remote_open
+
+    @property
+    def at_eof(self) -> bool:
+        return not self.rx_buffer and not self.remote_open
+
+
+class _Wire:
+    """Terminates transmitted frames (the physical link)."""
+
+    def deliver(self, payload: bytes) -> None:
+        pass
+
+
+class _LoopbackPeer:
+    """Peer implementation bridging two local connections."""
+
+    def __init__(self, stack: "NetworkStack"):
+        self.stack = stack
+        self.other: Connection | None = None
+
+    def on_connect(self, conn: Connection) -> None:
+        pass
+
+    def on_data(self, conn: Connection, data: bytes) -> None:
+        other = self.other
+        if other is None:
+            return
+        self.stack.kernel.ctx.clock.charge("copy_per_word",
+                                           max(1, (len(data) + 7) // 8))
+        other.rx_buffer += data
+        self.stack.kernel.scheduler.wake(("socket", id(other)))
+
+    def on_close(self, conn: Connection) -> None:
+        other = self.other
+        if other is not None:
+            other.remote_open = False
+            self.stack.kernel.scheduler.wake(("socket", id(other)))
+
+
+class ListenSocket:
+    """A bound, listening endpoint with an accept backlog."""
+
+    def __init__(self, stack: "NetworkStack", port: int):
+        self.stack = stack
+        self.port = port
+        self.backlog: list[Connection] = []
+
+    @property
+    def readable(self) -> bool:
+        return bool(self.backlog)
+
+
+class NetworkStack:
+    """Port table + connection management for one machine."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.nic = kernel.machine.nic
+        if self.nic.peer is None:
+            # default wire: per-connection peer objects model the far
+            # machines; the NIC itself just needs somewhere to put frames
+            self.nic.attach_peer(_Wire())
+        self._listeners: dict[int, ListenSocket] = {}
+        #: (host, port) -> factory returning a RemotePeer, for outbound
+        #: connections to simulated remote services.
+        self._remote_services: dict[tuple[str, int],
+                                    Callable[[], RemotePeer]] = {}
+        self.connections_accepted = 0
+
+    # -- server side -----------------------------------------------------------
+
+    def listen(self, port: int) -> ListenSocket:
+        if port in self._listeners:
+            raise SyscallError("EADDRINUSE", f"port {port}")
+        listener = ListenSocket(self, port)
+        self._listeners[port] = listener
+        self.kernel.ctx.work(mem=10, ops=16)
+        return listener
+
+    def unlisten(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    def accept(self, listener: ListenSocket) -> Connection | None:
+        if not listener.backlog:
+            return None
+        self.connections_accepted += 1
+        self.kernel.ctx.work(mem=24, ops=40, rets=2)
+        return listener.backlog.pop(0)
+
+    def remote_connect(self, port: int, peer: RemotePeer) -> Connection:
+        """A remote client machine opens a connection to a local port."""
+        listener = self._listeners.get(port)
+        if listener is None:
+            raise SyscallError("ECONNREFUSED", f"no listener on {port}")
+        conn = Connection(self, peer)
+        # TCP handshake + (eventual) teardown: SYN, SYN-ACK, ACK, two
+        # FINs and an ACK -- six wire events charged up front
+        self.nic.deliver(b"")
+        self.nic.receive()
+        self.nic.send(b"")
+        self.kernel.ctx.clock.charge("nic_per_packet", 4)
+        listener.backlog.append(conn)
+        peer.on_connect(conn)
+        self.kernel.scheduler.wake(("accept", id(listener)))
+        return conn
+
+    # -- loopback ------------------------------------------------------------------
+
+    def connect_local(self, port: int) -> Connection:
+        """Connect to a listener on this same machine (unix-socket-ish).
+
+        Returns the client-side connection; the server side lands in the
+        listener's backlog. Loopback bytes never touch the NIC, but the
+        copies are charged.
+        """
+        listener = self._listeners.get(port)
+        if listener is None:
+            raise SyscallError("ECONNREFUSED", f"local port {port}")
+        client_conn = Connection(self, _LoopbackPeer(self))
+        server_conn = Connection(self, _LoopbackPeer(self))
+        client_conn.via_nic = False
+        server_conn.via_nic = False
+        client_conn.peer.other = server_conn    # type: ignore[attr-defined]
+        server_conn.peer.other = client_conn    # type: ignore[attr-defined]
+        listener.backlog.append(server_conn)
+        self.kernel.ctx.work(mem=30, ops=50, rets=3)
+        self.kernel.scheduler.wake(("accept", id(listener)))
+        return client_conn
+
+    # -- client side --------------------------------------------------------------
+
+    def register_remote_service(self, host: str, port: int,
+                                factory: Callable[[], RemotePeer]) -> None:
+        """Declare a service running on a (simulated) remote machine."""
+        self._remote_services[(host, port)] = factory
+
+    def connect(self, host: str, port: int) -> Connection:
+        """Local process connects out to a remote service."""
+        factory = self._remote_services.get((host, port))
+        if factory is None:
+            raise SyscallError("ECONNREFUSED", f"{host}:{port}")
+        peer = factory()
+        conn = Connection(self, peer)
+        self.nic.send(b"")
+        self.nic.deliver(b"")
+        self.nic.receive()
+        self.kernel.ctx.clock.charge("nic_per_packet", 4)
+        self.kernel.ctx.work(mem=30, ops=50, rets=3)
+        peer.on_connect(conn)
+        return conn

@@ -1,0 +1,78 @@
+"""Pipes: bounded in-kernel byte queues with blocking semantics."""
+
+from __future__ import annotations
+
+from repro.errors import SyscallError
+from repro.kernel.vfs import Vnode, VnodeType
+
+PIPE_CAPACITY = 65536
+
+
+class Pipe:
+    """Shared state between the read and write ends."""
+
+    def __init__(self):
+        self.buffer = bytearray()
+        self.read_open = True
+        self.write_open = True
+
+    @property
+    def bytes_available(self) -> int:
+        return len(self.buffer)
+
+    @property
+    def space_available(self) -> int:
+        return PIPE_CAPACITY - len(self.buffer)
+
+
+class PipeEnd(Vnode):
+    """One end of a pipe, exposed as a vnode."""
+
+    vtype = VnodeType.FIFO
+
+    def __init__(self, pipe: Pipe, *, is_read_end: bool):
+        self.pipe = pipe
+        self.is_read_end = is_read_end
+
+    @property
+    def size(self) -> int:
+        return len(self.pipe.buffer)
+
+    def read(self, offset: int, length: int) -> bytes:
+        if not self.is_read_end:
+            raise SyscallError("EBADF", "read from pipe write end")
+        taken = bytes(self.pipe.buffer[:length])
+        del self.pipe.buffer[:length]
+        return taken
+
+    def write(self, offset: int, data: bytes) -> int:
+        if self.is_read_end:
+            raise SyscallError("EBADF", "write to pipe read end")
+        if not self.pipe.read_open:
+            raise SyscallError("EPIPE", "pipe has no reader")
+        writable = min(len(data), self.pipe.space_available)
+        self.pipe.buffer += data[:writable]
+        return writable
+
+    def close_end(self) -> None:
+        if self.is_read_end:
+            self.pipe.read_open = False
+        else:
+            self.pipe.write_open = False
+
+    @property
+    def would_block_read(self) -> bool:
+        return (self.is_read_end and not self.pipe.buffer
+                and self.pipe.write_open)
+
+    @property
+    def at_eof(self) -> bool:
+        return (self.is_read_end and not self.pipe.buffer
+                and not self.pipe.write_open)
+
+
+def make_pipe() -> tuple[PipeEnd, PipeEnd]:
+    """Create (read_end, write_end)."""
+    pipe = Pipe()
+    return (PipeEnd(pipe, is_read_end=True),
+            PipeEnd(pipe, is_read_end=False))

@@ -1,0 +1,160 @@
+"""Processes, threads, and the user-program execution protocol.
+
+User programs are Python generator coroutines: a program's ``main(env)``
+yields :class:`SyscallRequest` objects and receives results, so the kernel
+fully controls scheduling and trap boundaries. ``fork`` clones all kernel
+state (address space, descriptors, signal dispositions, Interrupt Context
+via ``sva.newstate``); the child's user half then enters the program's
+``child_main`` (a documented simplification -- generator stacks cannot be
+cloned -- that leaves every kernel- and SVA-side mechanism identical to a
+continue-after-fork design).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.hardware.cpu import RegisterFile
+from repro.kernel.vfs import OpenFile
+
+if TYPE_CHECKING:
+    from repro.core.keymgmt import SignedExecutable
+    from repro.core.vm import LoadedProgram
+    from repro.kernel.memory import AddressSpace
+
+
+@dataclass(frozen=True)
+class SyscallRequest:
+    """What a user program yields to trap into the kernel."""
+
+    number: int
+    args: tuple = ()
+
+
+class Program:
+    """Base class for user programs (the analogue of an executable).
+
+    ``main`` runs when the program is spawned or exec'ed; ``child_main``
+    runs in fork children. Both are generator functions over a
+    :class:`~repro.userland.libc.UserEnv`.
+    """
+
+    #: Identifier baked into the signed executable (text-segment stand-in).
+    program_id = "program"
+
+    def main(self, env) -> Iterator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def child_main(self, env) -> Iterator:
+        """Entry point for fork children (defaults to main)."""
+        return self.main(env)
+
+
+class ThreadState(enum.Enum):
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    ZOMBIE = "zombie"
+
+
+@dataclass
+class Thread:
+    tid: int
+    proc: "Process"
+    #: Stack of generators: base program + nested signal handlers.
+    gen_stack: list[Iterator] = field(default_factory=list)
+    state: ThreadState = ThreadState.RUNNABLE
+    #: Value to send into the active generator on next resume.
+    pending: object = None
+    #: Saved pending values of generators below signal handlers.
+    pending_stack: list = field(default_factory=list)
+    #: When a syscall blocked, the request to re-execute on wake.
+    restart_request: SyscallRequest | None = None
+    #: Wait channel while blocked.
+    blocked_on: object = None
+    #: User-visible register file (Interrupt Context source material).
+    uregs: RegisterFile = field(default_factory=RegisterFile)
+    #: Top (highest address) of this thread's kernel stack.
+    kstack_top: int = 0
+
+    @property
+    def active_gen(self) -> Iterator:
+        return self.gen_stack[-1]
+
+    @property
+    def in_signal_handler(self) -> bool:
+        return len(self.gen_stack) > 1
+
+
+@dataclass
+class Process:
+    pid: int
+    ppid: int
+    name: str
+    aspace: "AddressSpace"
+    exe: "SignedExecutable | None" = None
+    program: Program | None = None
+    loaded: "LoadedProgram | None" = None
+    fds: dict[int, OpenFile] = field(default_factory=dict)
+    next_fd: int = 3
+    threads: list[Thread] = field(default_factory=list)
+    children: dict[int, "Process"] = field(default_factory=dict)
+    exit_status: int | None = None
+    reaped: bool = False
+
+    # -- signals -------------------------------------------------------------
+    #: signal number -> user handler address (0 = default, 1 = ignore)
+    signal_handlers: dict[int, int] = field(default_factory=dict)
+    pending_signals: list[int] = field(default_factory=list)
+    #: user code addresses -> python callables producing handler generators
+    handler_fns: dict[int, Callable] = field(default_factory=dict)
+    #: attacker-injected code (written into the process by a rootkit):
+    #: address -> callable producing a generator to run "as" that code
+    injected_code: dict[int, Callable] = field(default_factory=dict)
+    #: next free user-space pseudo-address for registered code
+    #: (handler functions, injected shellcode); disjoint from the
+    #: executable-entry range the kernel assigns (0x40_0000..)
+    code_cursor: int = 0x0000_0000_0100_0000
+
+    # -- ghost memory bookkeeping (application side) ----------------------------
+    ghost_cursor: int = 0
+
+    @property
+    def is_zombie(self) -> bool:
+        return self.exit_status is not None
+
+    def alloc_fd(self, open_file: OpenFile) -> int:
+        fd = self.next_fd
+        while fd in self.fds:
+            fd += 1
+        self.next_fd = fd + 1
+        self.fds[fd] = open_file
+        return fd
+
+    def register_code(self, fn: Callable) -> int:
+        """Assign a user-space address to a piece of program code.
+
+        Programs use this for signal handlers (the address is what gets
+        registered with ``sigaction`` and ``sva.permitFunction``).
+        """
+        addr = self.code_cursor
+        self.code_cursor += 0x1000
+        self.handler_fns[addr] = fn
+        return addr
+
+    def inject_code(self, addr: int, fn: Callable) -> None:
+        """Record attacker-written executable bytes at ``addr``.
+
+        Called by the rootkit glue after it has copied its payload into
+        the process's memory; the callable is the payload's behaviour.
+        """
+        self.injected_code[addr] = fn
+
+    def code_at(self, addr: int) -> Callable | None:
+        fn = self.handler_fns.get(addr)
+        if fn is not None:
+            return fn
+        return self.injected_code.get(addr)

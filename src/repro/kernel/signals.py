@@ -1,0 +1,107 @@
+"""Signals: dispositions, posting, and SVA-mediated delivery.
+
+Delivery walks the paper's secure path: ``sva.icontext.save`` stashes the
+interrupted state on the per-thread stack inside SVA memory, then
+``sva.ipush.function`` rewrites the Interrupt Context to enter the
+handler -- refusing any target the application did not previously
+register with ``sva.permitFunction``. ``sigreturn`` is
+``sva.icontext.load``. In the native configuration the same calls run
+without checks, which is exactly the attack surface the rootkit's
+code-injection attack exploits.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SecurityViolation
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.proc import Process, Thread
+
+SIGHUP = 1
+SIGINT = 2
+SIGKILL = 9
+SIGUSR1 = 10
+SIGSEGV = 11
+SIGUSR2 = 12
+SIGPIPE = 13
+SIGTERM = 15
+SIGCHLD = 20
+
+NSIG = 32
+
+#: Disposition sentinels stored in Process.signal_handlers.
+SIG_DFL = 0
+SIG_IGN = 1
+
+_DEFAULT_IGNORED = {SIGCHLD}
+
+
+class SignalSubsystem:
+    """Kernel-side signal logic."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.delivered = 0
+        self.refused_by_vg = 0
+
+    # -- posting -----------------------------------------------------------------
+
+    def post(self, proc: "Process", signum: int) -> None:
+        """Mark a signal pending; delivery happens at trap exit."""
+        if not 1 <= signum < NSIG:
+            raise ValueError(f"bad signal {signum}")
+        if proc.is_zombie:
+            return
+        proc.pending_signals.append(signum)
+        self.kernel.ctx.work(mem=8, ops=12)
+        # Signals make blocked threads runnable (syscall restart semantics).
+        for thread in proc.threads:
+            self.kernel.scheduler.wake_thread(thread)
+
+    # -- delivery (called from the trap-exit path) ----------------------------------
+
+    def deliver_pending(self, thread: "Thread") -> None:
+        proc = thread.proc
+        while proc.pending_signals:
+            signum = proc.pending_signals.pop(0)
+            if signum == SIGKILL:
+                self.kernel.terminate_process(proc, 128 + signum)
+                return
+            disposition = proc.signal_handlers.get(signum, SIG_DFL)
+            if disposition == SIG_IGN:
+                continue
+            if disposition == SIG_DFL:
+                if signum in _DEFAULT_IGNORED:
+                    continue
+                self.kernel.terminate_process(proc, 128 + signum)
+                return
+            self._dispatch_to_handler(thread, disposition, signum)
+
+    def _dispatch_to_handler(self, thread: "Thread", handler_addr: int,
+                             signum: int) -> None:
+        vm = self.kernel.vm
+        # building/teardown of the user-stack signal frame and trampoline
+        # execution is bulk/user-side work, identical in both configs
+        self.kernel.ctx.clock.charge("instr", 800)
+        self.kernel.ctx.clock.charge("copy_per_word", 256)
+        self.kernel.ctx.work(mem=14, ops=20, rets=2, icalls=1)
+        vm.icontext_save(thread.tid)
+        try:
+            vm.ipush_function(thread.tid, handler_addr, (signum,))
+            self.delivered += 1
+        except SecurityViolation:
+            # Virtual Ghost refused the target; undo the save and drop
+            # the signal. The application continues unharmed (paper 7).
+            self.refused_by_vg += 1
+            vm.icontext_load(thread.tid)
+
+    # -- sigreturn -------------------------------------------------------------------
+
+    def sigreturn(self, thread: "Thread") -> None:
+        self.kernel.ctx.clock.charge("instr", 400)
+        self.kernel.ctx.clock.charge("copy_per_word", 256)
+        self.kernel.ctx.work(mem=8, ops=12, rets=2)
+        self.kernel.vm.icontext_load(thread.tid)

@@ -1,0 +1,515 @@
+"""SimpleFS: a small on-disk filesystem (superblock, inodes, bitmap, data).
+
+Structure (4 KiB blocks over the 512-byte-sector disk):
+
+* block 0              -- superblock
+* blocks 1..I          -- inode table (64-byte inodes, 64 per block)
+* blocks I+1..I+B      -- block allocation bitmap
+* remaining blocks     -- file data and directories
+
+Inodes hold 12 direct block pointers plus one single-indirect block
+(max file size ~4 MiB). Directories store fixed 64-byte entries.
+A write-back buffer cache sits between the FS and the disk; cache misses
+and evictions charge real disk costs, metadata manipulation charges
+kernel work -- this is the substrate under Tables 3/4 (file create and
+delete rates) and the Postmark run (Table 5).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING
+
+from repro.errors import KernelError, SyscallError
+from repro.hardware.disk import Disk, SECTOR_SIZE
+from repro.kernel.vfs import Vnode, VnodeType
+
+if TYPE_CHECKING:
+    from repro.kernel.context import KernelContext
+
+BLOCK_SIZE = 4096
+_SECTORS_PER_BLOCK = BLOCK_SIZE // SECTOR_SIZE
+
+MAGIC = 0x5F56_4753                  # "_VGS"
+
+INODE_SIZE = 64
+INODES_PER_BLOCK = BLOCK_SIZE // INODE_SIZE
+NUM_DIRECT = 12
+
+DIRENT_SIZE = 64
+MAX_NAME = 54
+
+_TYPE_FREE = 0
+_TYPE_REGULAR = 1
+_TYPE_DIRECTORY = 2
+
+#: Buffer-cache capacity in blocks (16 MiB -- the paper's machine has
+#: 16 GiB of RAM; its benchmarks run fully buffered).
+CACHE_BLOCKS = 4096
+
+
+class BufferCache:
+    """Write-back block cache with FIFO eviction."""
+
+    def __init__(self, disk: Disk, ctx: "KernelContext"):
+        self.disk = disk
+        self.ctx = ctx
+        self._blocks: dict[int, bytearray] = {}
+        self._dirty: set[int] = set()
+        self._order: list[int] = []
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, block_number: int) -> bytearray:
+        cached = self._blocks.get(block_number)
+        if cached is not None:
+            self.hits += 1
+            self.ctx.work(mem=3, ops=5)
+            return cached
+        self.misses += 1
+        self._evict_if_full()
+        data = bytearray(self.disk.read_sectors(
+            block_number * _SECTORS_PER_BLOCK, _SECTORS_PER_BLOCK))
+        self._blocks[block_number] = data
+        self._order.append(block_number)
+        self.ctx.work(mem=10, ops=14)
+        return data
+
+    def create(self, block_number: int) -> bytearray:
+        """Install a zeroed block without reading the disk (fresh
+        allocation -- its prior contents are dead)."""
+        cached = self._blocks.get(block_number)
+        if cached is not None:
+            cached[:] = bytes(BLOCK_SIZE)
+            return cached
+        self._evict_if_full()
+        data = bytearray(BLOCK_SIZE)
+        self._blocks[block_number] = data
+        self._order.append(block_number)
+        self.ctx.work(mem=8, ops=10)
+        return data
+
+    def mark_dirty(self, block_number: int) -> None:
+        if block_number not in self._blocks:
+            raise KernelError(f"dirtying uncached block {block_number}")
+        self._dirty.add(block_number)
+
+    def flush(self) -> None:
+        for block_number in sorted(self._dirty):
+            self.disk.write_sectors(block_number * _SECTORS_PER_BLOCK,
+                                    bytes(self._blocks[block_number]))
+        self._dirty.clear()
+
+    def _evict_if_full(self) -> None:
+        while len(self._blocks) >= CACHE_BLOCKS:
+            victim = self._order.pop(0)
+            if victim in self._dirty:
+                self.disk.write_sectors(victim * _SECTORS_PER_BLOCK,
+                                        bytes(self._blocks[victim]))
+                self._dirty.discard(victim)
+            del self._blocks[victim]
+
+
+class _Inode:
+    """In-memory view of one on-disk inode."""
+
+    __slots__ = ("number", "itype", "size", "direct", "indirect", "nlink")
+
+    def __init__(self, number: int):
+        self.number = number
+        self.itype = _TYPE_FREE
+        self.size = 0
+        self.direct = [0] * NUM_DIRECT
+        self.indirect = 0
+        self.nlink = 0
+
+    def pack(self) -> bytes:
+        return struct.pack("<BxHQ12II", self.itype, self.nlink, self.size,
+                           *self.direct, self.indirect)
+
+    @classmethod
+    def unpack(cls, number: int, raw: bytes) -> "_Inode":
+        inode = cls(number)
+        fields = struct.unpack("<BxHQ12II",
+                               raw[:struct.calcsize("<BxHQ12II")])
+        inode.itype = fields[0]
+        inode.nlink = fields[1]
+        inode.size = fields[2]
+        inode.direct = list(fields[3:3 + NUM_DIRECT])
+        inode.indirect = fields[3 + NUM_DIRECT]
+        return inode
+
+
+class SimpleFS:
+    """The filesystem driver: formats, mounts, and serves vnodes."""
+
+    def __init__(self, disk: Disk, ctx: "KernelContext"):
+        self.disk = disk
+        self.ctx = ctx
+        self.cache = BufferCache(disk, ctx)
+        self.num_blocks = disk.size_bytes // BLOCK_SIZE
+        self.num_inodes = 0
+        self.inode_blocks = 0
+        self.bitmap_blocks = 0
+        self.data_start = 0
+        self._vnodes: dict[int, "SimpleFSVnode"] = {}
+        self._inode_hint = 0
+        self._block_hint = 0
+
+    # -- format & mount ---------------------------------------------------------
+
+    def mkfs(self, num_inodes: int = 4096) -> None:
+        self.num_inodes = num_inodes
+        self.inode_blocks = -(-num_inodes // INODES_PER_BLOCK)
+        self.bitmap_blocks = -(-self.num_blocks // (BLOCK_SIZE * 8))
+        self.data_start = 1 + self.inode_blocks + self.bitmap_blocks
+
+        superblock = struct.pack("<IIIII", MAGIC, self.num_blocks,
+                                 self.num_inodes, self.inode_blocks,
+                                 self.bitmap_blocks)
+        block = self.cache.get(0)
+        block[:] = superblock.ljust(BLOCK_SIZE, b"\x00")
+        self.cache.mark_dirty(0)
+
+        for block_number in range(1, self.data_start):
+            block = self.cache.get(block_number)
+            block[:] = bytes(BLOCK_SIZE)
+            self.cache.mark_dirty(block_number)
+        # mark metadata blocks used in the bitmap
+        for block_number in range(self.data_start):
+            self._bitmap_set(block_number, True)
+
+        root = _Inode(0)
+        root.itype = _TYPE_DIRECTORY
+        root.nlink = 1
+        self._write_inode(root)
+        self.cache.flush()
+
+    def mount(self) -> "SimpleFSVnode":
+        raw = bytes(self.cache.get(0))
+        magic, num_blocks, num_inodes, inode_blocks, bitmap_blocks = (
+            struct.unpack("<IIIII", raw[:20]))
+        if magic != MAGIC:
+            raise KernelError("SimpleFS: bad magic (disk not formatted?)")
+        self.num_blocks = num_blocks
+        self.num_inodes = num_inodes
+        self.inode_blocks = inode_blocks
+        self.bitmap_blocks = bitmap_blocks
+        self.data_start = 1 + inode_blocks + bitmap_blocks
+        return self.vnode(0)
+
+    def sync(self) -> None:
+        self.cache.flush()
+
+    def vnode(self, inode_number: int) -> "SimpleFSVnode":
+        vnode = self._vnodes.get(inode_number)
+        if vnode is None:
+            vnode = SimpleFSVnode(self, inode_number)
+            self._vnodes[inode_number] = vnode
+        return vnode
+
+    # -- inode table -------------------------------------------------------------
+
+    def read_inode(self, number: int) -> _Inode:
+        if not 0 <= number < self.num_inodes:
+            raise KernelError(f"inode {number} out of range")
+        block_number = 1 + number // INODES_PER_BLOCK
+        offset = (number % INODES_PER_BLOCK) * INODE_SIZE
+        raw = self.cache.get(block_number)[offset:offset + INODE_SIZE]
+        self.ctx.work(mem=8, ops=10)
+        return _Inode.unpack(number, bytes(raw))
+
+    def _write_inode(self, inode: _Inode) -> None:
+        block_number = 1 + inode.number // INODES_PER_BLOCK
+        offset = (inode.number % INODES_PER_BLOCK) * INODE_SIZE
+        block = self.cache.get(block_number)
+        block[offset:offset + INODE_SIZE] = inode.pack()
+        self.cache.mark_dirty(block_number)
+        self.ctx.work(mem=8, ops=10)
+
+    def alloc_inode(self, itype: int) -> _Inode:
+        for step in range(self.num_inodes):
+            number = (self._inode_hint + step) % self.num_inodes
+            inode = self.read_inode(number)
+            if inode.itype == _TYPE_FREE:
+                self._inode_hint = (number + 1) % self.num_inodes
+                inode.itype = itype
+                inode.nlink = 1
+                inode.size = 0
+                inode.direct = [0] * NUM_DIRECT
+                inode.indirect = 0
+                self._write_inode(inode)
+                self.ctx.work(mem=12, ops=20)
+                return inode
+        raise SyscallError("ENOSPC", "out of inodes")
+
+    def free_inode(self, inode: _Inode) -> None:
+        for block_number in self._data_blocks_of(inode):
+            self.free_block(block_number)
+        if inode.indirect:
+            self.free_block(inode.indirect)
+        inode.itype = _TYPE_FREE
+        inode.size = 0
+        inode.direct = [0] * NUM_DIRECT
+        inode.indirect = 0
+        self._write_inode(inode)
+        self._vnodes.pop(inode.number, None)
+
+    # -- block allocation ------------------------------------------------------------
+
+    def alloc_block(self) -> int:
+        span = self.num_blocks - self.data_start
+        for step in range(span):
+            block_number = self.data_start + (
+                (self._block_hint + step) % span)
+            if not self._bitmap_get(block_number):
+                self._block_hint = (block_number - self.data_start + 1) % span
+                self._bitmap_set(block_number, True)
+                self.cache.create(block_number)
+                self.cache.mark_dirty(block_number)
+                self.ctx.work(mem=10, ops=16)
+                return block_number
+        raise SyscallError("ENOSPC", "disk full")
+
+    def free_block(self, block_number: int) -> None:
+        self._bitmap_set(block_number, False)
+        self.ctx.work(mem=6, ops=8)
+
+    def _bitmap_get(self, block_number: int) -> bool:
+        bitmap_block = 1 + self.inode_blocks + block_number // (
+            BLOCK_SIZE * 8)
+        bit = block_number % (BLOCK_SIZE * 8)
+        block = self.cache.get(bitmap_block)
+        return bool(block[bit // 8] & (1 << (bit % 8)))
+
+    def _bitmap_set(self, block_number: int, used: bool) -> None:
+        bitmap_block = 1 + self.inode_blocks + block_number // (
+            BLOCK_SIZE * 8)
+        bit = block_number % (BLOCK_SIZE * 8)
+        block = self.cache.get(bitmap_block)
+        if used:
+            block[bit // 8] |= 1 << (bit % 8)
+        else:
+            block[bit // 8] &= ~(1 << (bit % 8))
+        self.cache.mark_dirty(bitmap_block)
+
+    # -- file block mapping -------------------------------------------------------------
+
+    def block_for(self, inode: _Inode, file_block: int, *,
+                  allocate: bool) -> int:
+        """Disk block holding file block ``file_block`` (0 when absent)."""
+        if file_block < NUM_DIRECT:
+            if inode.direct[file_block] == 0 and allocate:
+                inode.direct[file_block] = self.alloc_block()
+                self._write_inode(inode)
+            return inode.direct[file_block]
+        index = file_block - NUM_DIRECT
+        if index >= BLOCK_SIZE // 4:
+            raise SyscallError("EFBIG", "file too large")
+        if inode.indirect == 0:
+            if not allocate:
+                return 0
+            inode.indirect = self.alloc_block()
+            self._write_inode(inode)
+        table = self.cache.get(inode.indirect)
+        entry = struct.unpack_from("<I", table, index * 4)[0]
+        if entry == 0 and allocate:
+            entry = self.alloc_block()
+            table = self.cache.get(inode.indirect)
+            struct.pack_into("<I", table, index * 4, entry)
+            self.cache.mark_dirty(inode.indirect)
+        return entry
+
+    def _data_blocks_of(self, inode: _Inode):
+        num_blocks = -(-inode.size // BLOCK_SIZE)
+        for file_block in range(num_blocks):
+            block_number = self.block_for(inode, file_block, allocate=False)
+            if block_number:
+                yield block_number
+
+
+class SimpleFSVnode(Vnode):
+    """Vnode adapter over a SimpleFS inode."""
+
+    def __init__(self, fs: SimpleFS, inode_number: int):
+        self.fs = fs
+        self.inode_number = inode_number
+
+    @property
+    def vtype(self) -> VnodeType:  # type: ignore[override]
+        inode = self.fs.read_inode(self.inode_number)
+        return (VnodeType.DIRECTORY if inode.itype == _TYPE_DIRECTORY
+                else VnodeType.REGULAR)
+
+    @property
+    def size(self) -> int:
+        return self.fs.read_inode(self.inode_number).size
+
+    # -- file I/O -------------------------------------------------------------
+
+    def read(self, offset: int, length: int) -> bytes:
+        inode = self.fs.read_inode(self.inode_number)
+        if offset >= inode.size:
+            return b""
+        length = min(length, inode.size - offset)
+        out = bytearray()
+        cursor = offset
+        while len(out) < length:
+            file_block, block_offset = divmod(cursor, BLOCK_SIZE)
+            chunk = min(length - len(out), BLOCK_SIZE - block_offset)
+            block_number = self.fs.block_for(inode, file_block,
+                                             allocate=False)
+            if block_number == 0:
+                out += bytes(chunk)           # hole
+            else:
+                block = self.fs.cache.get(block_number)
+                out += block[block_offset:block_offset + chunk]
+            self.fs.ctx.work(mem=110, ops=60, rets=4, icalls=2)
+            self.fs.ctx.clock.charge("copy_per_word", (chunk + 7) // 8)
+            cursor += chunk
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> int:
+        inode = self.fs.read_inode(self.inode_number)
+        cursor = offset
+        view = memoryview(data)
+        while view.nbytes > 0:
+            file_block, block_offset = divmod(cursor, BLOCK_SIZE)
+            chunk = min(view.nbytes, BLOCK_SIZE - block_offset)
+            block_number = self.fs.block_for(inode, file_block,
+                                             allocate=True)
+            block = self.fs.cache.get(block_number)
+            block[block_offset:block_offset + chunk] = view[:chunk]
+            self.fs.cache.mark_dirty(block_number)
+            self.fs.ctx.work(mem=380, ops=160, rets=8, icalls=3)
+            self.fs.ctx.clock.charge("copy_per_word", (chunk + 7) // 8)
+            cursor += chunk
+            view = view[chunk:]
+        if cursor > inode.size:
+            inode.size = cursor
+            self.fs._write_inode(inode)
+        return len(data)
+
+    def truncate(self, length: int) -> None:
+        inode = self.fs.read_inode(self.inode_number)
+        if length != 0:
+            raise SyscallError("EINVAL",
+                               "SimpleFS only truncates to zero")
+        for block_number in self.fs._data_blocks_of(inode):
+            self.fs.free_block(block_number)
+        if inode.indirect:
+            self.fs.free_block(inode.indirect)
+            inode.indirect = 0
+        inode.size = 0
+        inode.direct = [0] * NUM_DIRECT
+        self.fs._write_inode(inode)
+
+    def fsync(self) -> None:
+        self.fs.sync()
+
+    # -- directory operations ------------------------------------------------------
+
+    def lookup(self, name: str) -> Vnode:
+        inode = self._require_directory()
+        entry = self._find_entry(inode, name)
+        if entry is None:
+            raise SyscallError("ENOENT", f"no entry {name!r}")
+        return self.fs.vnode(entry[1])
+
+    def create(self, name: str, vtype: VnodeType) -> Vnode:
+        inode = self._require_directory()
+        if len(name) > MAX_NAME:
+            raise SyscallError("ENAMETOOLONG", name)
+        if self._find_entry(inode, name) is not None:
+            raise SyscallError("EEXIST", name)
+        itype = (_TYPE_DIRECTORY if vtype == VnodeType.DIRECTORY
+                 else _TYPE_REGULAR)
+        child = self.fs.alloc_inode(itype)
+        self._insert_entry(inode, name, child.number)
+        self.fs.ctx.work(mem=2400, ops=1100, rets=60, icalls=18)
+        return self.fs.vnode(child.number)
+
+    def unlink(self, name: str) -> None:
+        inode = self._require_directory()
+        entry = self._find_entry(inode, name)
+        if entry is None:
+            raise SyscallError("ENOENT", f"no entry {name!r}")
+        slot, child_number = entry
+        child = self.fs.read_inode(child_number)
+        child.nlink -= 1
+        if child.nlink <= 0:
+            self.fs.free_inode(child)
+        else:
+            self.fs._write_inode(child)
+        self._clear_entry(inode, slot)
+        self.fs.ctx.work(mem=2200, ops=1000, rets=55, icalls=16)
+
+    def entries(self) -> list[str]:
+        inode = self._require_directory()
+        names = []
+        for _, name, child in self._iter_entries(inode):
+            if child != 0xFFFF_FFFF:
+                names.append(name)
+        return names
+
+    # -- directory internals --------------------------------------------------------
+
+    def _require_directory(self) -> _Inode:
+        inode = self.fs.read_inode(self.inode_number)
+        if inode.itype != _TYPE_DIRECTORY:
+            raise SyscallError("ENOTDIR", f"inode {self.inode_number}")
+        return inode
+
+    def _iter_entries(self, inode: _Inode):
+        num_slots = inode.size // DIRENT_SIZE
+        for slot in range(num_slots):
+            raw = self.read_dirent(inode, slot)
+            child = struct.unpack_from("<I", raw, 0)[0]
+            name_length = raw[4]
+            name = raw[5:5 + name_length].decode("utf-8", "replace")
+            yield slot, name, child
+
+    def read_dirent(self, inode: _Inode, slot: int) -> bytes:
+        offset = slot * DIRENT_SIZE
+        file_block, block_offset = divmod(offset, BLOCK_SIZE)
+        block_number = self.fs.block_for(inode, file_block, allocate=False)
+        if block_number == 0:
+            return bytes(DIRENT_SIZE)
+        block = self.fs.cache.get(block_number)
+        self.fs.ctx.work(mem=14, ops=8)
+        return bytes(block[block_offset:block_offset + DIRENT_SIZE])
+
+    def _write_dirent(self, inode: _Inode, slot: int, raw: bytes) -> None:
+        offset = slot * DIRENT_SIZE
+        file_block, block_offset = divmod(offset, BLOCK_SIZE)
+        block_number = self.fs.block_for(inode, file_block, allocate=True)
+        block = self.fs.cache.get(block_number)
+        block[block_offset:block_offset + DIRENT_SIZE] = raw
+        self.fs.cache.mark_dirty(block_number)
+        self.fs.ctx.work(mem=4, ops=6)
+
+    def _find_entry(self, inode: _Inode,
+                    name: str) -> tuple[int, int] | None:
+        for slot, entry_name, child in self._iter_entries(inode):
+            if child != 0xFFFF_FFFF and entry_name == name:
+                return slot, child
+        return None
+
+    def _insert_entry(self, inode: _Inode, name: str,
+                      child_number: int) -> None:
+        encoded = name.encode()
+        raw = (struct.pack("<IB", child_number, len(encoded)) + encoded
+               ).ljust(DIRENT_SIZE, b"\x00")
+        # reuse a tombstone slot if available
+        for slot, _, child in self._iter_entries(inode):
+            if child == 0xFFFF_FFFF:
+                self._write_dirent(inode, slot, raw)
+                return
+        slot = inode.size // DIRENT_SIZE
+        self._write_dirent(inode, slot, raw)
+        inode.size += DIRENT_SIZE
+        self.fs._write_inode(inode)
+
+    def _clear_entry(self, inode: _Inode, slot: int) -> None:
+        raw = struct.pack("<IB", 0xFFFF_FFFF, 0).ljust(DIRENT_SIZE, b"\x00")
+        self._write_dirent(inode, slot, raw)

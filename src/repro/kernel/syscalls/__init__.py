@@ -1,0 +1,68 @@
+"""System-call table and dispatch.
+
+Handlers follow the signature ``handler(kernel, thread, *args) -> int``
+and may raise :class:`~repro.errors.SyscallError` (mapped to ``-errno``),
+:class:`~repro.kernel.blocking.WouldBlock` (parks the thread), or return
+an :class:`ExecImage`/raise :class:`ProcessExited` for the two control-
+transferring calls.
+
+Path arguments are passed as Python strings (the copyinstr cost is
+charged explicitly); data buffers are always user virtual addresses and
+cross the boundary through ``KernelContext.copyin``/``copyout`` -- the
+instrumented path where ghost memory is unreachable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SyscallError
+from repro.kernel.syscalls.table import (ERRNO, SYS, SYSCALL_NAMES,
+                                         ExecImage, ProcessExited)
+from repro.kernel.syscalls import file as file_syscalls
+from repro.kernel.syscalls import mem as mem_syscalls
+from repro.kernel.syscalls import misc as misc_syscalls
+from repro.kernel.syscalls import net as net_syscalls
+from repro.kernel.syscalls import proc as proc_syscalls
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.proc import Thread
+
+_HANDLERS = {}
+for module in (file_syscalls, mem_syscalls, misc_syscalls, net_syscalls,
+               proc_syscalls):
+    for attr in dir(module):
+        if attr.startswith("sys_"):
+            name = attr[4:]
+            if name in SYS:
+                _HANDLERS[SYS[name]] = getattr(module, attr)
+
+missing = set(SYS.values()) - set(_HANDLERS)
+if missing:  # pragma: no cover - import-time invariant
+    raise ImportError(f"unimplemented syscalls: "
+                      f"{[SYSCALL_NAMES[n] for n in missing]}")
+
+
+def dispatch(kernel: "Kernel", thread: "Thread", number: int, args: tuple):
+    """Run one system call; returns the raw handler result.
+
+    ``SyscallError`` is converted to a negative errno here; ``WouldBlock``,
+    ``ProcessExited`` and ``ExecImage`` propagate to the scheduler.
+    """
+    handler = _HANDLERS.get(number)
+    if handler is None:
+        return -ERRNO["ENOSYS"]
+    # dispatch-table work: fetch entry, validate, indirect call through it
+    kernel.ctx.work(mem=6, ops=10, icalls=1)
+    try:
+        result = handler(kernel, thread, *args)
+    except SyscallError as exc:
+        kernel.ctx.work(mem=4, ops=8, rets=1)
+        return -ERRNO.get(exc.errno, ERRNO["EINVAL"])
+    kernel.ctx.work(rets=1)
+    return 0 if result is None else result
+
+
+__all__ = ["dispatch", "SYS", "SYSCALL_NAMES", "ERRNO", "ExecImage",
+           "ProcessExited"]

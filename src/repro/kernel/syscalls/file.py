@@ -1,0 +1,196 @@
+"""File-related system calls: open/close/read/write/lseek/unlink/...
+
+The work() charges on these paths are the substrate of the LMBench
+open/close and file create/delete results (Tables 2-4): descriptor table
+manipulation, vnode reference handling, and name-cache style lookups are
+memory-heavy, which is why their Virtual Ghost overhead lands in the
+4-5x band once every load/store carries the sandboxing arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SyscallError
+from repro.kernel.blocking import (WouldBlock, pipe_read_channel,
+                                   socket_channel)
+from repro.kernel.net.socket import SocketVnode
+from repro.kernel.pipe import PipeEnd, make_pipe
+from repro.kernel.vfs import (O_APPEND, O_CREAT, O_TRUNC, OpenFile,
+                              VnodeType)
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.proc import Thread
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+
+def _file(kernel: "Kernel", thread: "Thread", fd: int) -> OpenFile:
+    open_file = thread.proc.fds.get(fd)
+    if open_file is None:
+        raise SyscallError("EBADF", f"fd {fd}")
+    kernel.ctx.work(mem=4, ops=6)
+    return open_file
+
+
+def _charge_copyinstr(kernel: "Kernel", path: str) -> None:
+    kernel.ctx.work(mem=2 + len(path) // 8, ops=4 + len(path) // 4)
+
+
+def sys_open(kernel: "Kernel", thread: "Thread", path: str,
+             flags: int = 0) -> int:
+    _charge_copyinstr(kernel, path)
+    try:
+        vnode, _ = kernel.vfs.resolve(path)
+    except SyscallError:
+        if not flags & O_CREAT:
+            raise
+        parent, name = kernel.vfs.resolve(path, parent=True)
+        vnode = parent.create(name, VnodeType.REGULAR)
+    if flags & O_TRUNC and vnode.vtype == VnodeType.REGULAR:
+        vnode.truncate(0)
+    open_file = OpenFile(vnode=vnode, flags=flags)
+    if flags & O_APPEND:
+        open_file.offset = vnode.size
+    fd = thread.proc.alloc_fd(open_file)
+    # fd table slot init, vnode ref, cred check, fp allocation
+    kernel.ctx.work(mem=900, ops=500, rets=40, icalls=12)
+    return fd
+
+
+def sys_close(kernel: "Kernel", thread: "Thread", fd: int) -> int:
+    open_file = _file(kernel, thread, fd)
+    del thread.proc.fds[fd]
+    open_file.refcount -= 1
+    if open_file.refcount == 0:
+        if isinstance(open_file.vnode, PipeEnd):
+            open_file.vnode.close_end()
+            kernel.scheduler.wake(pipe_read_channel(open_file.vnode.pipe))
+            kernel.scheduler.wake(("pipe_write", id(open_file.vnode.pipe)))
+        elif isinstance(open_file.vnode, SocketVnode):
+            open_file.vnode.close_socket()
+    kernel.ctx.work(mem=400, ops=220, rets=16, icalls=5)
+    return 0
+
+
+def sys_read(kernel: "Kernel", thread: "Thread", fd: int, buf_addr: int,
+             count: int) -> int:
+    if count < 0:
+        raise SyscallError("EINVAL", "negative count")
+    open_file = _file(kernel, thread, fd)
+    if not open_file.readable:
+        raise SyscallError("EBADF", "fd not open for reading")
+    vnode = open_file.vnode
+
+    if isinstance(vnode, PipeEnd):
+        if vnode.would_block_read:
+            raise WouldBlock(pipe_read_channel(vnode.pipe))
+        data = vnode.read(0, count)
+    elif isinstance(vnode, SocketVnode):
+        if not vnode.conn.rx_buffer and not vnode.conn.at_eof:
+            raise WouldBlock(socket_channel(vnode.conn))
+        data = vnode.read(0, count)
+    else:
+        data = vnode.read(open_file.offset, count)
+        open_file.offset += len(data)
+
+    kernel.ctx.copyout(buf_addr, data)
+    kernel.ctx.work(mem=16, ops=24, rets=2, icalls=1)
+    return len(data)
+
+
+def sys_write(kernel: "Kernel", thread: "Thread", fd: int, buf_addr: int,
+              count: int) -> int:
+    if count < 0:
+        raise SyscallError("EINVAL", "negative count")
+    open_file = _file(kernel, thread, fd)
+    if not open_file.writable:
+        raise SyscallError("EBADF", "fd not open for writing")
+    data = kernel.ctx.copyin(buf_addr, count)
+    vnode = open_file.vnode
+    if isinstance(vnode, (PipeEnd, SocketVnode)):
+        written = vnode.write(0, data)
+        if isinstance(vnode, PipeEnd):
+            kernel.scheduler.wake(pipe_read_channel(vnode.pipe))
+    else:
+        written = vnode.write(open_file.offset, data)
+        open_file.offset += written
+    kernel.ctx.work(mem=16, ops=24, rets=2, icalls=1)
+    return written
+
+
+def sys_lseek(kernel: "Kernel", thread: "Thread", fd: int, offset: int,
+              whence: int) -> int:
+    open_file = _file(kernel, thread, fd)
+    if whence == SEEK_SET:
+        new_offset = offset
+    elif whence == SEEK_CUR:
+        new_offset = open_file.offset + offset
+    elif whence == SEEK_END:
+        new_offset = open_file.vnode.size + offset
+    else:
+        raise SyscallError("EINVAL", f"whence {whence}")
+    if new_offset < 0:
+        raise SyscallError("EINVAL", "negative offset")
+    open_file.offset = new_offset
+    kernel.ctx.work(mem=6, ops=10, rets=1)
+    return new_offset
+
+
+def sys_unlink(kernel: "Kernel", thread: "Thread", path: str) -> int:
+    _charge_copyinstr(kernel, path)
+    parent, name = kernel.vfs.resolve(path, parent=True)
+    parent.unlink(name)
+    kernel.ctx.work(mem=160, ops=90, rets=8, icalls=3)
+    return 0
+
+
+def sys_stat(kernel: "Kernel", thread: "Thread", path: str) -> int:
+    """Returns the file size (the only stat field programs here need)."""
+    _charge_copyinstr(kernel, path)
+    vnode, _ = kernel.vfs.resolve(path)
+    kernel.ctx.work(mem=14, ops=20, rets=2)
+    return vnode.size
+
+
+def sys_dup(kernel: "Kernel", thread: "Thread", fd: int) -> int:
+    open_file = _file(kernel, thread, fd)
+    open_file.refcount += 1
+    new_fd = thread.proc.alloc_fd(open_file)
+    kernel.ctx.work(mem=10, ops=14, rets=1)
+    return new_fd
+
+
+def sys_pipe(kernel: "Kernel", thread: "Thread") -> int:
+    """Returns (read_fd << 16) | write_fd (both fds < 65536)."""
+    read_end, write_end = make_pipe()
+    read_fd = thread.proc.alloc_fd(OpenFile(vnode=read_end, flags=0))
+    write_fd = thread.proc.alloc_fd(OpenFile(vnode=write_end, flags=1))
+    kernel.ctx.work(mem=30, ops=40, rets=3)
+    return (read_fd << 16) | write_fd
+
+
+def sys_fsync(kernel: "Kernel", thread: "Thread", fd: int) -> int:
+    open_file = _file(kernel, thread, fd)
+    open_file.vnode.fsync()
+    kernel.ctx.work(mem=8, ops=12, rets=1, icalls=1)
+    return 0
+
+
+def sys_ftruncate(kernel: "Kernel", thread: "Thread", fd: int,
+                  length: int) -> int:
+    open_file = _file(kernel, thread, fd)
+    open_file.vnode.truncate(length)
+    kernel.ctx.work(mem=12, ops=18, rets=2, icalls=1)
+    return 0
+
+
+def sys_mkdir(kernel: "Kernel", thread: "Thread", path: str) -> int:
+    _charge_copyinstr(kernel, path)
+    parent, name = kernel.vfs.resolve(path, parent=True)
+    parent.create(name, VnodeType.DIRECTORY)
+    kernel.ctx.work(mem=26, ops=38, rets=3, icalls=1)
+    return 0

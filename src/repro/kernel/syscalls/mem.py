@@ -1,0 +1,42 @@
+"""Memory system calls: mmap, munmap, brk."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SyscallError
+from repro.kernel.memory import MAP_ANON, MAP_FILE
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.proc import Thread
+
+
+def sys_mmap(kernel: "Kernel", thread: "Thread", addr: int, length: int,
+             prot: int, flags: int, fd: int = -1, offset: int = 0) -> int:
+    proc = thread.proc
+    vnode = None
+    if flags & MAP_FILE:
+        open_file = proc.fds.get(fd)
+        if open_file is None:
+            raise SyscallError("EBADF", f"fd {fd}")
+        vnode = open_file.vnode
+    result = kernel.vmm.mmap(proc.aspace, addr, length, prot,
+                             MAP_FILE if vnode else MAP_ANON,
+                             vnode=vnode, file_offset=offset)
+    kernel.ctx.work(mem=520, ops=300, rets=18, icalls=6)
+    return result
+
+
+def sys_munmap(kernel: "Kernel", thread: "Thread", addr: int,
+               length: int) -> int:
+    kernel.vmm.munmap(thread.proc.aspace, addr, length)
+    kernel.ctx.work(mem=300, ops=180, rets=12, icalls=4)
+    return 0
+
+
+def sys_brk(kernel: "Kernel", thread: "Thread", new_brk: int) -> int:
+    if new_brk == 0:
+        kernel.ctx.work(mem=4, ops=6)
+        return thread.proc.aspace.brk
+    return kernel.vmm.set_brk(thread.proc.aspace, new_brk)

@@ -1,0 +1,61 @@
+"""Miscellaneous system calls: select, gettimeofday, getrandom."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SyscallError
+from repro.hardware.clock import cycles_to_us
+from repro.kernel.blocking import WouldBlock
+from repro.kernel.net.socket import ListenVnode, SocketVnode
+from repro.kernel.pipe import PipeEnd
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.proc import Thread
+
+
+def _fd_ready(kernel: "Kernel", thread: "Thread", fd: int) -> bool:
+    open_file = thread.proc.fds.get(fd)
+    if open_file is None:
+        raise SyscallError("EBADF", f"fd {fd}")
+    vnode = open_file.vnode
+    # per-fd poll work: fd table load, vnode poll indirect call
+    kernel.ctx.work(mem=20, ops=40, icalls=1)
+    if isinstance(vnode, (SocketVnode, ListenVnode)):
+        return vnode.readable_now
+    if isinstance(vnode, PipeEnd):
+        return not vnode.would_block_read or vnode.at_eof
+    return True     # regular files and devices are always ready
+
+
+def sys_select(kernel: "Kernel", thread: "Thread", fds: tuple,
+               block: int = 0) -> int:
+    """Returns a readiness bitmask over the given fd list (bit i = fds[i]).
+
+    With ``block`` nonzero and nothing ready, waits until any wake event.
+    """
+    kernel.ctx.work(mem=40, ops=30)        # copyin of fd sets, setup
+    mask = 0
+    for index, fd in enumerate(fds):
+        if _fd_ready(kernel, thread, fd):
+            mask |= 1 << index
+    kernel.ctx.work(mem=8, ops=12, rets=2)  # copyout of result sets
+    if mask == 0 and block:
+        raise WouldBlock(("select", thread.tid))
+    return mask
+
+
+def sys_gettimeofday(kernel: "Kernel", thread: "Thread") -> int:
+    """Simulated time in whole microseconds."""
+    kernel.ctx.work(mem=6, ops=10)
+    return int(cycles_to_us(kernel.machine.clock.cycles))
+
+
+def sys_getrandom(kernel: "Kernel", thread: "Thread", buf_addr: int,
+                  length: int) -> int:
+    """Kernel randomness (the untrusted kind; see /dev/random notes)."""
+    data = kernel.devfs.random.read(0, length)
+    kernel.ctx.copyout(buf_addr, data)
+    kernel.ctx.work(mem=10, ops=16, rets=1)
+    return length

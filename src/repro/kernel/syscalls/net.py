@@ -1,0 +1,57 @@
+"""Network system calls: listen, accept, connect.
+
+Connected sockets are read/written with the ordinary read/write calls.
+``socket`` exists for ABI shape; binding happens in ``listen``/``connect``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SyscallError
+from repro.kernel.blocking import WouldBlock, accept_channel
+from repro.kernel.net.socket import ListenVnode, SocketVnode
+from repro.kernel.vfs import O_RDWR, OpenFile
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.proc import Thread
+
+
+def sys_socket(kernel: "Kernel", thread: "Thread") -> int:
+    kernel.ctx.work(mem=12, ops=18)
+    return 0          # placeholder descriptor protocol; see listen/connect
+
+
+def sys_listen(kernel: "Kernel", thread: "Thread", port: int) -> int:
+    listener = kernel.net.listen(port)
+    fd = thread.proc.alloc_fd(OpenFile(vnode=ListenVnode(listener),
+                                       flags=O_RDWR))
+    kernel.ctx.work(mem=20, ops=30, rets=2)
+    return fd
+
+
+def sys_accept(kernel: "Kernel", thread: "Thread", fd: int) -> int:
+    open_file = thread.proc.fds.get(fd)
+    if open_file is None or not isinstance(open_file.vnode, ListenVnode):
+        raise SyscallError("EBADF", f"fd {fd} is not listening")
+    listener = open_file.vnode.listener
+    conn = kernel.net.accept(listener)
+    if conn is None:
+        raise WouldBlock(accept_channel(listener))
+    new_fd = thread.proc.alloc_fd(OpenFile(vnode=SocketVnode(conn),
+                                           flags=O_RDWR))
+    kernel.ctx.work(mem=24, ops=36, rets=2)
+    return new_fd
+
+
+def sys_connect(kernel: "Kernel", thread: "Thread", host: str,
+                port: int) -> int:
+    if host in ("localhost", "127.0.0.1"):
+        conn = kernel.net.connect_local(port)
+    else:
+        conn = kernel.net.connect(host, port)
+    fd = thread.proc.alloc_fd(OpenFile(vnode=SocketVnode(conn),
+                                       flags=O_RDWR))
+    kernel.ctx.work(mem=24, ops=36, rets=2)
+    return fd

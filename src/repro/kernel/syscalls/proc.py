@@ -1,0 +1,92 @@
+"""Process system calls: exit, fork, execve, wait4, kill, signals."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SyscallError
+from repro.kernel.blocking import WouldBlock, wait_channel
+from repro.kernel.syscalls.table import ExecImage, ProcessExited
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.proc import Thread
+
+
+def sys_exit(kernel: "Kernel", thread: "Thread", status: int = 0):
+    raise ProcessExited(status)
+
+
+def sys_fork(kernel: "Kernel", thread: "Thread") -> int:
+    child = kernel.do_fork(thread)
+    return child.pid
+
+
+def sys_execve(kernel: "Kernel", thread: "Thread", path: str,
+               args: tuple = ()) -> ExecImage:
+    return kernel.do_exec(thread, path, args)
+
+
+def sys_wait4(kernel: "Kernel", thread: "Thread", pid: int = -1) -> int:
+    """Reap a zombie child; returns (child_pid << 8) | (status & 0xff)."""
+    proc = thread.proc
+    kernel.ctx.work(mem=12, ops=20)
+    candidates = ([proc.children[pid]] if pid in proc.children
+                  else list(proc.children.values()))
+    if pid != -1 and pid not in proc.children:
+        raise SyscallError("ECHILD", f"pid {pid} is not a child")
+    if not candidates:
+        raise SyscallError("ECHILD", "no children")
+    for child in candidates:
+        if child.is_zombie and not child.reaped:
+            child.reaped = True
+            del proc.children[child.pid]
+            kernel.release_zombie(child)
+            kernel.ctx.work(mem=20, ops=30, rets=2)
+            return (child.pid << 8) | (child.exit_status & 0xFF)
+    raise WouldBlock(wait_channel(proc.pid))
+
+
+def sys_getpid(kernel: "Kernel", thread: "Thread") -> int:
+    # The LMBench "null syscall" analogue: fetch curproc, read pid, return.
+    kernel.ctx.work(mem=4, ops=20)
+    return thread.proc.pid
+
+
+def sys_kill(kernel: "Kernel", thread: "Thread", pid: int,
+             signum: int) -> int:
+    target = kernel.processes.get(pid)
+    if target is None or target.is_zombie:
+        raise SyscallError("ESRCH", f"pid {pid}")
+    kernel.signals.post(target, signum)
+    kernel.ctx.work(mem=20, ops=30, rets=2, icalls=1)
+    return 0
+
+
+def sys_sigaction(kernel: "Kernel", thread: "Thread", signum: int,
+                  handler_addr: int) -> int:
+    """Install a signal handler (address) or SIG_DFL/SIG_IGN (0/1).
+
+    Note: this kernel call does *not* register the handler with Virtual
+    Ghost -- the application's wrapper library must also call
+    ``sva.permitFunction``, exactly as the paper's wrappers do. A handler
+    installed only via sigaction will be refused at delivery time.
+    """
+    from repro.kernel.signals import NSIG
+    if not 1 <= signum < NSIG:
+        raise SyscallError("EINVAL", f"signal {signum}")
+    thread.proc.signal_handlers[signum] = handler_addr
+    # sigaction struct copyin + process-table update
+    kernel.ctx.work(mem=10, ops=60, rets=1)
+    return 0
+
+
+def sys_sigreturn(kernel: "Kernel", thread: "Thread") -> int:
+    kernel.signals.sigreturn(thread)
+    return 0
+
+
+def sys_sched_yield(kernel: "Kernel", thread: "Thread") -> int:
+    kernel.ctx.work(mem=6, ops=10)
+    kernel.scheduler.request_yield(thread)
+    return 0

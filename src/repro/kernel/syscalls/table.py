@@ -1,0 +1,72 @@
+"""Syscall numbers, errno values, and control-transfer sentinels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.kernel.proc import Program
+
+SYS = {
+    "exit": 1,
+    "fork": 2,
+    "read": 3,
+    "write": 4,
+    "open": 5,
+    "close": 6,
+    "wait4": 7,
+    "unlink": 10,
+    "execve": 11,
+    "getpid": 20,
+    "kill": 37,
+    "dup": 41,
+    "pipe": 42,
+    "brk": 45,
+    "sigaction": 46,
+    "sigreturn": 47,
+    "select": 93,
+    "fsync": 95,
+    "lseek": 199,
+    "mmap": 197,
+    "munmap": 73,
+    "stat": 188,
+    "ftruncate": 201,
+    "sched_yield": 331,
+    "gettimeofday": 116,
+    "getrandom": 563,
+    "socket": 97,
+    "listen": 106,
+    "accept": 30,
+    "connect": 98,
+    "mkdir": 136,
+}
+
+SYSCALL_NAMES = {number: name for name, number in SYS.items()}
+
+ERRNO = {
+    "EPERM": 1, "ENOENT": 2, "ESRCH": 3, "EINTR": 4, "EIO": 5,
+    "EBADF": 9, "ECHILD": 10, "ENOMEM": 12, "EACCES": 13, "EFAULT": 14,
+    "EEXIST": 17, "ENOTDIR": 20, "EISDIR": 21, "EINVAL": 22,
+    "EMFILE": 24, "EFBIG": 27, "ENOSPC": 28, "EPIPE": 32,
+    "ENAMETOOLONG": 63, "ENOSYS": 78, "ENOTEMPTY": 66,
+    "EADDRINUSE": 48, "ECONNREFUSED": 61, "ECONNRESET": 54,
+    "EAGAIN": 35,
+}
+
+ERRNO_NAMES = {number: name for name, number in ERRNO.items()}
+
+
+@dataclass
+class ExecImage:
+    """Returned by execve: tells the scheduler to swap the user program."""
+
+    program: "Program"
+
+
+class ProcessExited(Exception):
+    """Raised by sys_exit; the scheduler reaps the process."""
+
+    def __init__(self, status: int):
+        self.status = status
+        super().__init__(f"exit({status})")

@@ -1,0 +1,140 @@
+"""Virtual filesystem layer: vnodes, path resolution, file descriptions.
+
+Filesystems implement the :class:`Vnode` interface; the VFS resolves
+paths, tracks open-file state, and charges the path-walk and descriptor
+work that the LMBench ``open/close`` microbenchmark measures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import SyscallError
+
+if TYPE_CHECKING:
+    from repro.kernel.context import KernelContext
+
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x40
+O_TRUNC = 0x200
+O_APPEND = 0x400
+
+
+class VnodeType(enum.Enum):
+    REGULAR = "reg"
+    DIRECTORY = "dir"
+    DEVICE = "dev"
+    FIFO = "fifo"
+    SOCKET = "sock"
+
+
+class Vnode:
+    """Base interface for filesystem objects."""
+
+    vtype = VnodeType.REGULAR
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def read(self, offset: int, length: int) -> bytes:
+        raise SyscallError("EINVAL", "not readable")
+
+    def write(self, offset: int, data: bytes) -> int:
+        raise SyscallError("EINVAL", "not writable")
+
+    def truncate(self, length: int) -> None:
+        raise SyscallError("EINVAL", "not truncatable")
+
+    # directory operations
+    def lookup(self, name: str) -> "Vnode":
+        raise SyscallError("ENOTDIR", "not a directory")
+
+    def create(self, name: str, vtype: VnodeType) -> "Vnode":
+        raise SyscallError("ENOTDIR", "not a directory")
+
+    def unlink(self, name: str) -> None:
+        raise SyscallError("ENOTDIR", "not a directory")
+
+    def entries(self) -> list[str]:
+        raise SyscallError("ENOTDIR", "not a directory")
+
+    def fsync(self) -> None:
+        """Flush to stable storage (no-op for non-disk vnodes)."""
+
+
+@dataclass
+class OpenFile:
+    """An open file description (shared across dup'ed descriptors)."""
+
+    vnode: Vnode
+    flags: int
+    offset: int = 0
+    refcount: int = 1
+
+    @property
+    def readable(self) -> bool:
+        return (self.flags & 0x3) in (O_RDONLY, O_RDWR)
+
+    @property
+    def writable(self) -> bool:
+        return (self.flags & 0x3) in (O_WRONLY, O_RDWR)
+
+
+class VFS:
+    """Mount table + path resolution."""
+
+    def __init__(self, ctx: "KernelContext"):
+        self.ctx = ctx
+        self.root: Vnode | None = None
+        self._mounts: dict[str, Vnode] = {}
+
+    def mount_root(self, vnode: Vnode) -> None:
+        self.root = vnode
+
+    def mount(self, path: str, vnode: Vnode) -> None:
+        self._mounts[path.rstrip("/") or "/"] = vnode
+
+    def resolve(self, path: str, *, parent: bool = False
+                ) -> tuple[Vnode, str]:
+        """Resolve a path.
+
+        With ``parent=True`` returns (parent-directory vnode, final name);
+        otherwise returns (target vnode, final name). Charges per-component
+        lookup work (directory search + name compare + vnode ref).
+        """
+        if self.root is None:
+            raise SyscallError("ENOENT", "no root filesystem")
+        if not path.startswith("/"):
+            raise SyscallError("EINVAL", f"relative path {path!r}")
+
+        # longest mount-point prefix wins
+        best_mount = "/"
+        node: Vnode = self.root
+        normalized = "/" + "/".join(p for p in path.split("/") if p)
+        for mount_path, mount_node in self._mounts.items():
+            if (normalized == mount_path
+                    or normalized.startswith(mount_path + "/")):
+                if len(mount_path) > len(best_mount):
+                    best_mount = mount_path
+                    node = mount_node
+        remainder = normalized[len(best_mount):].strip("/")
+        components = [c for c in remainder.split("/") if c]
+
+        if not components:
+            if parent:
+                raise SyscallError("EINVAL", "cannot take parent of root")
+            return node, ""
+
+        for component in components[:-1]:
+            self.ctx.work(mem=80, ops=50, icalls=2)
+            node = node.lookup(component)
+        final = components[-1]
+        if parent:
+            return node, final
+        self.ctx.work(mem=80, ops=50, icalls=2)
+        return node.lookup(final), final

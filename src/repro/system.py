@@ -1,0 +1,109 @@
+"""High-level facade: assemble a machine + Virtual Ghost VM + kernel.
+
+This is the entry point examples, tests, and benchmarks use::
+
+    from repro.system import System
+    from repro.core import VGConfig
+
+    system = System.create(VGConfig.virtual_ghost())
+    system.install("/bin/myapp", MyProgram())
+    proc = system.spawn("/bin/myapp", argv=("arg",))
+    status = system.run_until_exit(proc)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import VGConfig
+from repro.core.keymgmt import SignedExecutable
+from repro.hardware.clock import CostModel, cycles_to_seconds, cycles_to_us
+from repro.hardware.platform import Machine, MachineConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.proc import Process, Program
+from repro.userland.loader import install_program
+
+
+@dataclass
+class System:
+    """One simulated computer running one kernel configuration."""
+
+    machine: Machine
+    kernel: Kernel
+    config: VGConfig
+
+    @classmethod
+    def create(cls, config: VGConfig | None = None, *,
+               memory_mb: int = 64, disk_mb: int = 64,
+               costs: CostModel | None = None,
+               serial: bytes = b"vg-machine-0") -> "System":
+        config = config or VGConfig.virtual_ghost()
+        machine = Machine(MachineConfig(
+            memory_frames=memory_mb * 256,
+            disk_sectors=disk_mb * 2048,
+            serial=serial,
+            costs=costs))
+        kernel = Kernel(machine, config)
+        kernel.boot()
+        return cls(machine=machine, kernel=kernel, config=config)
+
+    # -- application management ---------------------------------------------------
+
+    def install(self, path: str, program: Program, *,
+                app_key: bytes | None = None) -> SignedExecutable:
+        return install_program(self.kernel, path, program, app_key=app_key)
+
+    def spawn(self, path: str, *, argv: tuple = ()) -> Process:
+        return self.kernel.spawn(path, argv=argv)
+
+    def run(self, **kwargs) -> None:
+        self.kernel.run(**kwargs)
+
+    def run_until_exit(self, proc: Process, **kwargs) -> int:
+        return self.kernel.run_until_exit(proc, **kwargs)
+
+    # -- filesystem helpers ----------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Create/overwrite a file directly (admin provisioning)."""
+        from repro.errors import SyscallError
+        from repro.kernel.vfs import VnodeType
+        try:
+            vnode, _ = self.kernel.vfs.resolve(path)
+            vnode.truncate(0)
+        except SyscallError:
+            parent, name = self.kernel.vfs.resolve(path, parent=True)
+            vnode = parent.create(name, VnodeType.REGULAR)
+        vnode.write(0, data)
+
+    def read_file(self, path: str) -> bytes:
+        vnode, _ = self.kernel.vfs.resolve(path)
+        return vnode.read(0, vnode.size)
+
+    def file_exists(self, path: str) -> bool:
+        from repro.errors import SyscallError
+        try:
+            self.kernel.vfs.resolve(path)
+            return True
+        except SyscallError:
+            return False
+
+    # -- time ---------------------------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        return self.machine.clock.cycles
+
+    @property
+    def micros(self) -> float:
+        return cycles_to_us(self.machine.clock.cycles)
+
+    def elapsed_us(self, start_cycles: int) -> float:
+        return cycles_to_us(self.machine.clock.cycles - start_cycles)
+
+    def elapsed_seconds(self, start_cycles: int) -> float:
+        return cycles_to_seconds(self.machine.clock.cycles - start_cycles)
+
+    @property
+    def console(self):
+        return self.machine.console

@@ -1,0 +1,16 @@
+"""Userland: the C-library analogue, syscall wrappers, and applications.
+
+* :mod:`repro.userland.libc` -- ``UserEnv`` (the process's view of the
+  system: syscalls, memory, Virtual Ghost calls) and a malloc that can
+  place the heap in ghost memory, mirroring the paper's modified FreeBSD
+  libc ("heap allocator functions allocate heap objects in ghost memory").
+* :mod:`repro.userland.wrappers` -- the system-call wrapper library that
+  copies data between ghost and traditional memory and registers signal
+  handlers with ``sva.permitFunction`` (the paper's 667-line library).
+* :mod:`repro.userland.apps` -- the ported OpenSSH suite (ssh, ssh-keygen,
+  ssh-agent), sshd, a thttpd-like web server, and workload programs.
+"""
+
+from repro.userland.libc import UserEnv
+
+__all__ = ["UserEnv"]

@@ -1,0 +1,17 @@
+"""Ported applications (paper section 6) and workload programs.
+
+The OpenSSH trio -- ``ssh``, ``ssh-keygen``, ``ssh-agent`` -- uses ghost
+memory for its heap and shares one application key, so the encrypted
+authentication-key files one program writes can be read by the others but
+by nothing else on the system. ``sshd`` and ``thttpd`` are the paper's
+non-ghosting network servers.
+"""
+
+from repro.userland.apps.ssh_keygen import SshKeygen
+from repro.userland.apps.ssh_agent import SshAgent, AGENT_PORT
+from repro.userland.apps.ssh import SshClient
+from repro.userland.apps.sshd import SshServer, SSHD_PORT
+from repro.userland.apps.thttpd import ThttpdServer, HTTP_PORT
+
+__all__ = ["SshKeygen", "SshAgent", "SshClient", "SshServer",
+           "ThttpdServer", "AGENT_PORT", "SSHD_PORT", "HTTP_PORT"]

@@ -1,0 +1,87 @@
+"""ssh-agent: holds decrypted authentication keys in ghost memory.
+
+The agent loads encrypted private keys (written by ssh-keygen with the
+shared application key), decrypts them into its ghost heap, and serves
+signing requests over a local socket. Like the paper's evaluation copy,
+it also places a **secret string** in a heap buffer -- the data the
+rootkit attacks of section 7 try to steal; it is used internally and
+never written out.
+
+Protocol (length-prefixed frames over the local socket):
+    request:  b"SIGN" + 32-byte challenge     -> reply: signature
+    request:  b"PING"                         -> reply: b"PONG"
+    request:  b"STOP"                         -> agent exits
+"""
+
+from __future__ import annotations
+
+from repro.kernel.proc import Program
+from repro.userland.apps.sshkeys import deserialize_private
+from repro.userland.wrappers import GhostWrappers
+
+AGENT_PORT = 2000
+
+#: The secret the attacks hunt for (paper section 6: "we added code to
+#: place a secret string within a heap-allocated memory buffer").
+SECRET_STRING = b"agent-secret-0xDEADBEEF-do-not-exfiltrate"
+
+
+class SshAgent(Program):
+    """argv: (key_path, ...) -- encrypted private keys to load."""
+
+    program_id = "ssh-agent-6.2p1"
+
+    def __init__(self):
+        #: test/attack instrumentation: ghost (or heap) address of the
+        #: secret buffer in the most recent agent process
+        self.secret_addr = 0
+        self.keys_loaded = 0
+        self.signatures_served = 0
+        self.running = False
+
+    def main(self, env):
+        use_ghost = env.ghost_available
+        heap = env.malloc_init(use_ghost=use_ghost)
+        wrappers = GhostWrappers(env)
+        app_key = env.get_app_key() if use_ghost else b"\x00" * 16
+
+        # the secret string lives in a heap buffer (ghost when ghosting)
+        self.secret_addr = heap.store(SECRET_STRING)
+
+        # load and decrypt authentication keys into the heap
+        keypairs = []
+        for path in env.argv:
+            blob = yield from wrappers.load_encrypted(path, app_key)
+            if blob is None:
+                continue
+            heap.store(blob)                      # plaintext in ghost heap
+            keypairs.append(deserialize_private(blob))
+            self.keys_loaded += 1
+
+        listen_fd = yield from env.sys_listen(AGENT_PORT)
+        if listen_fd < 0:
+            return 1
+        self.running = True
+
+        while True:
+            conn_fd = yield from env.sys_accept(listen_fd)
+            if conn_fd < 0:
+                break
+            request = yield from wrappers.read_bytes(conn_fd, 4)
+            if request == b"STOP":
+                yield from env.sys_close(conn_fd)
+                break
+            if request == b"PING":
+                # the agent touches its secret (uses it internally)
+                secret = env.mem_read(self.secret_addr, len(SECRET_STRING))
+                reply = b"PONG" if secret == SECRET_STRING else b"CRPT"
+                yield from wrappers.write_bytes(conn_fd, reply)
+            elif request == b"SIGN" and keypairs:
+                challenge = yield from wrappers.read_bytes(conn_fd, 32)
+                env.kernel.ctx.clock.charge("rsa_op")
+                signature = keypairs[0].sign(challenge)
+                yield from wrappers.write_bytes(conn_fd, signature)
+                self.signatures_served += 1
+            yield from env.sys_close(conn_fd)
+        self.running = False
+        return 0

@@ -1,0 +1,62 @@
+"""ssh-keygen: generate an authentication key pair (paper section 6).
+
+The private key file is encrypted with the shared application key before
+it is handed to the OS for storage; the public key is written in the
+clear. Randomness comes from the trusted ``sva_random`` instruction, not
+from /dev/random, so the OS cannot weaken the keys.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.proc import Program
+from repro.userland.apps.sshkeys import (generate_auth_key,
+                                         serialize_private,
+                                         serialize_public)
+from repro.userland.libc import O_CREAT, O_TRUNC, O_WRONLY
+from repro.userland.wrappers import GhostWrappers
+
+
+class SshKeygen(Program):
+    """argv: (output_path,) -- writes <path> (encrypted) and <path>.pub."""
+
+    program_id = "ssh-keygen-6.2p1"
+
+    def main(self, env):
+        out_path = env.argv[0] if env.argv else "/id_rsa"
+        use_ghost = env.ghost_available
+        heap = env.malloc_init(use_ghost=use_ghost)
+        wrappers = GhostWrappers(env)
+
+        if use_ghost:
+            app_key = env.get_app_key()
+            seed = env.sva_random(32)
+        else:
+            # Non-ghosting fallback (used on the native baseline in the
+            # security experiments): key material is OS-visible.
+            app_key = b"\x00" * 16
+            buf = heap.malloc(32)
+            yield from env.sys_getrandom(buf, 32)
+            seed = env.mem_read(buf, 32)
+
+        env.kernel.ctx.clock.charge("rsa_op")   # keygen compute time
+        keypair = generate_auth_key(seed)
+        private_blob = serialize_private(keypair)
+        public_blob = serialize_public(keypair.public)
+
+        # Keep the plaintext private key in the (ghost) heap while the
+        # program works with it, as real ssh-keygen holds it in memory.
+        private_addr = heap.store(private_blob)
+        self.last_private_addr = private_addr
+
+        result = yield from wrappers.save_encrypted(out_path, private_blob,
+                                                    app_key)
+        if result < 0:
+            return 1
+
+        fd = yield from env.sys_open(out_path + ".pub",
+                                     O_WRONLY | O_CREAT | O_TRUNC)
+        if fd < 0:
+            return 1
+        yield from wrappers.write_bytes(fd, public_blob)
+        yield from env.sys_close(fd)
+        return 0

@@ -1,0 +1,151 @@
+"""sshd: the (non-ghosting) OpenSSH server used in Figure 3.
+
+Serves files to remote scp-like clients: challenge/response
+authentication, then a session-encrypted stream read from the local
+filesystem. The paper runs this server unmodified (no ghost memory) on
+the Virtual Ghost kernel and measures transfer bandwidth against the
+native kernel; the slowdown comes entirely from the kernel-side
+instrumentation on the syscall-heavy transfer path.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import sha256
+from repro.kernel.net.stack import Connection
+from repro.kernel.proc import Program
+from repro.userland.apps.ssh import TRANSFER_CHUNK, _session_encrypt
+from repro.userland.libc import O_RDONLY
+from repro.userland.wrappers import GhostWrappers
+
+SSHD_PORT = 22
+
+
+class SshServer(Program):
+    """Accept loop; serves until a shutdown request arrives."""
+
+    program_id = "sshd-6.2p1"
+
+    def __init__(self):
+        self.transfers_served = 0
+        self.running = False
+
+    def main(self, env):
+        heap = env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        listen_fd = yield from env.sys_listen(SSHD_PORT)
+        if listen_fd < 0:
+            return 1
+        self.running = True
+        buf = heap.malloc(TRANSFER_CHUNK)
+
+        while True:
+            conn_fd = yield from env.sys_accept(listen_fd)
+            if conn_fd < 0:
+                break
+            challenge = env.sva_random(32) if env.ghost_available \
+                else sha256(b"srv-challenge")[:32]
+            yield from wrappers.write_bytes(conn_fd, challenge)
+            signature = yield from wrappers.read_bytes(conn_fd, 64)
+            if len(signature) < 64:
+                yield from env.sys_close(conn_fd)
+                continue
+            # (server-side verification cost)
+            env.kernel.ctx.clock.charge("sha_block", 2)
+
+            line = yield from _read_line(env, wrappers, conn_fd)
+            if line is None or line == b"QUIT":
+                yield from env.sys_close(conn_fd)
+                if line == b"QUIT":
+                    break
+                continue
+            if not line.startswith(b"GET "):
+                yield from env.sys_close(conn_fd)
+                continue
+            path = line[4:].decode()
+
+            size = yield from env.sys_stat(path)
+            if size < 0:
+                yield from wrappers.write_bytes(conn_fd,
+                                                (0).to_bytes(8, "big"))
+                yield from env.sys_close(conn_fd)
+                continue
+            fd = yield from env.sys_open(path, O_RDONLY)
+            yield from wrappers.write_bytes(conn_fd,
+                                            size.to_bytes(8, "big"))
+            sent = 0
+            while sent < size:
+                got = yield from env.sys_read(fd, buf,
+                                              min(TRANSFER_CHUNK,
+                                                  size - sent))
+                if got <= 0:
+                    break
+                plaintext = env.mem_read(buf, got)
+                env.kernel.ctx.clock.charge("aes_block",
+                                            max(1, (got + 15) // 16))
+                encrypted = _session_encrypt(plaintext)
+                env.mem_write(buf, encrypted)
+                put = yield from env.sys_write(conn_fd, buf, got)
+                if put <= 0:
+                    break
+                sent += put
+            yield from env.sys_close(fd)
+            yield from env.sys_close(conn_fd)
+            self.transfers_served += 1
+        self.running = False
+        return 0
+
+
+def _read_line(env, wrappers: GhostWrappers, fd: int):
+    """Read up to a newline (byte at a time; request lines are short)."""
+    line = bytearray()
+    for _ in range(256):
+        chunk = yield from wrappers.read_bytes(fd, 1)
+        if not chunk:
+            return None
+        if chunk == b"\n":
+            return bytes(line)
+        line += chunk
+    return bytes(line)
+
+
+class RemoteScpClient:
+    """Remote scp client driving a download from our sshd (Figure 3)."""
+
+    def __init__(self, filename: str, signer):
+        self.filename = filename
+        self.signer = signer                 # RSAKeyPair or None
+        self.bytes_received = 0
+        self.expected = None
+        self.done = False
+        self._buffer = bytearray()
+        self._state = "challenge"
+
+    def on_connect(self, conn: Connection) -> None:
+        pass
+
+    def on_data(self, conn: Connection, data: bytes) -> None:
+        self._buffer += data
+        if self._state == "challenge" and len(self._buffer) >= 32:
+            challenge = bytes(self._buffer[:32])
+            del self._buffer[:32]
+            if self.signer is not None:
+                signature = self.signer.sign(challenge)
+            else:
+                signature = bytes(64)
+            conn.peer_send(signature)
+            conn.peer_send(b"GET " + self.filename.encode() + b"\n")
+            self._state = "header"
+        if self._state == "header" and len(self._buffer) >= 8:
+            self.expected = int.from_bytes(bytes(self._buffer[:8]), "big")
+            del self._buffer[:8]
+            self._state = "data"
+        if self._state == "data":
+            self.bytes_received += len(self._buffer)
+            self._buffer.clear()
+            if self.expected is not None \
+                    and self.bytes_received >= self.expected:
+                self.done = True
+                conn.peer_close()
+
+    def on_close(self, conn: Connection) -> None:
+        self.done = True

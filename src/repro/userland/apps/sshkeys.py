@@ -1,0 +1,48 @@
+"""Authentication-key formats shared by the OpenSSH application suite.
+
+Key pairs are real RSA (from :mod:`repro.crypto.rsa`); the private half is
+stored on disk only under the shared application key (encrypt-then-MAC),
+so the OS sees ciphertext. These helpers run *inside* applications --
+plaintext key material only ever exists in ghost memory (the apps store
+the serialized form there) and in the transient Python objects modeling
+the application's computation.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+
+AUTH_KEY_BITS = 512
+
+
+def generate_auth_key(seed: bytes) -> RSAKeyPair:
+    return RSAKeyPair.generate(AUTH_KEY_BITS, seed=seed)
+
+
+def serialize_private(keypair: RSAKeyPair) -> bytes:
+    n = keypair.public.n
+    d = keypair._d  # noqa: SLF001 -- the app owns its key material
+    nb = (n.bit_length() + 7) // 8
+    return b"PRIV" + nb.to_bytes(2, "big") + n.to_bytes(nb, "big") \
+        + d.to_bytes(nb, "big")
+
+
+def deserialize_private(blob: bytes) -> RSAKeyPair:
+    if blob[:4] != b"PRIV":
+        raise ValueError("not a private key blob")
+    nb = int.from_bytes(blob[4:6], "big")
+    n = int.from_bytes(blob[6:6 + nb], "big")
+    d = int.from_bytes(blob[6 + nb:6 + 2 * nb], "big")
+    return RSAKeyPair(n=n, e=65537, d=d)
+
+
+def serialize_public(public: RSAPublicKey) -> bytes:
+    nb = public.byte_length
+    return b"PUB " + nb.to_bytes(2, "big") + public.n.to_bytes(nb, "big")
+
+
+def deserialize_public(blob: bytes) -> RSAPublicKey:
+    if blob[:4] != b"PUB ":
+        raise ValueError("not a public key blob")
+    nb = int.from_bytes(blob[4:6], "big")
+    return RSAPublicKey(n=int.from_bytes(blob[6:6 + nb], "big"))

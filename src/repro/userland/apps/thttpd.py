@@ -1,0 +1,122 @@
+"""thttpd: a tiny static web server (paper section 8.2).
+
+Statically linked, non-ghosting, serving files over HTTP/1.0. The wire
+dominates: web-transfer bandwidth under Virtual Ghost is near-native at
+every file size (Figure 2), because the per-request kernel work is small
+relative to gigabit wire time even for 1 KiB files.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.net.stack import Connection
+from repro.kernel.proc import Program
+from repro.userland.libc import O_RDONLY
+from repro.userland.wrappers import GhostWrappers
+
+HTTP_PORT = 80
+SEND_CHUNK = 32768
+
+
+class ThttpdServer(Program):
+    program_id = "thttpd-2.25b"
+
+    def __init__(self):
+        self.requests_served = 0
+        self.running = False
+
+    def main(self, env):
+        heap = env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        listen_fd = yield from env.sys_listen(HTTP_PORT)
+        if listen_fd < 0:
+            return 1
+        self.running = True
+        buf = heap.malloc(SEND_CHUNK)
+
+        while True:
+            conn_fd = yield from env.sys_accept(listen_fd)
+            if conn_fd < 0:
+                break
+            request = yield from self._read_request(env, wrappers, conn_fd)
+            if request is None:
+                yield from env.sys_close(conn_fd)
+                continue
+            if request == "/__shutdown__":
+                yield from wrappers.write_bytes(
+                    conn_fd, b"HTTP/1.0 200 OK\r\n\r\n")
+                yield from env.sys_close(conn_fd)
+                break
+
+            size = yield from env.sys_stat(request)
+            if size < 0:
+                yield from wrappers.write_bytes(
+                    conn_fd, b"HTTP/1.0 404 Not Found\r\n\r\n")
+                yield from env.sys_close(conn_fd)
+                continue
+            header = (f"HTTP/1.0 200 OK\r\nContent-Length: {size}\r\n"
+                      f"Content-Type: application/octet-stream\r\n\r\n")
+            yield from wrappers.write_bytes(conn_fd, header.encode())
+
+            fd = yield from env.sys_open(request, O_RDONLY)
+            sent = 0
+            while sent < size:
+                got = yield from env.sys_read(fd, buf,
+                                              min(SEND_CHUNK, size - sent))
+                if got <= 0:
+                    break
+                put = yield from env.sys_write(conn_fd, buf, got)
+                if put <= 0:
+                    break
+                sent += put
+            yield from env.sys_close(fd)
+            yield from env.sys_close(conn_fd)
+            self.requests_served += 1
+        self.running = False
+        return 0
+
+    @staticmethod
+    def _read_request(env, wrappers, conn_fd):
+        """Parse 'GET <path> HTTP/1.0' from the request head."""
+        head = yield from wrappers.read_bytes(conn_fd, 512)
+        if not head.startswith(b"GET "):
+            return None
+        line = head.split(b"\r\n", 1)[0]
+        parts = line.split()
+        if len(parts) < 2:
+            return None
+        return parts[1].decode()
+
+
+class HttpClient:
+    """ApacheBench-style remote client: one GET, collects the body."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.bytes_received = 0
+        self.content_length: int | None = None
+        self.header_seen = False
+        self.done = False
+        self._buffer = bytearray()
+
+    def on_connect(self, conn: Connection) -> None:
+        conn.peer_send(f"GET {self.path} HTTP/1.0\r\n\r\n".encode())
+
+    def on_data(self, conn: Connection, data: bytes) -> None:
+        self._buffer += data
+        if not self.header_seen and b"\r\n\r\n" in self._buffer:
+            header, _, body = bytes(self._buffer).partition(b"\r\n\r\n")
+            self.header_seen = True
+            for line in header.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    self.content_length = int(line.split(b":")[1])
+            self._buffer = bytearray(body)
+        if self.header_seen:
+            self.bytes_received += len(self._buffer)
+            self._buffer.clear()
+            if (self.content_length is not None
+                    and self.bytes_received >= self.content_length):
+                self.done = True
+                conn.peer_close()
+
+    def on_close(self, conn: Connection) -> None:
+        self.done = True

@@ -1,0 +1,302 @@
+"""UserEnv and the C-library analogue.
+
+``UserEnv`` is what a user program's ``main(env)`` receives: system calls
+(as generator methods -- ``yield from env.sys_read(...)``), user-privilege
+memory access, and the Virtual Ghost application instructions (``allocgm``,
+``sva.getKey``, ``sva.permitFunction``, trusted randomness), which are
+direct calls into the VM that never cross into the OS (Figure 1).
+
+``Malloc`` is the modified allocator of paper section 6: configured with
+``use_ghost=True`` it places the heap in ghost memory via ``allocgm``;
+otherwise it uses ordinary (OS-visible) anonymous memory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.core.layout import GHOST_END
+from repro.errors import KernelError
+from repro.hardware.memory import PAGE_SIZE
+from repro.kernel.memory import MAP_ANON, PROT_READ, PROT_WRITE
+from repro.kernel.proc import SyscallRequest
+from repro.kernel.syscalls.table import SYS
+from repro.kernel.vfs import (O_APPEND, O_CREAT, O_RDONLY, O_RDWR,
+                              O_TRUNC, O_WRONLY)
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.proc import Process, Thread
+
+__all__ = ["UserEnv", "Malloc", "O_RDONLY", "O_WRONLY", "O_RDWR",
+           "O_CREAT", "O_TRUNC", "O_APPEND"]
+
+
+class UserEnv:
+    """A process's interface to the machine."""
+
+    def __init__(self, kernel: "Kernel", proc: "Process", thread: "Thread",
+                 *, argv: tuple = ()):
+        self.kernel = kernel
+        self.proc = proc
+        self.thread = thread
+        self.argv = tuple(argv)
+        self.heap: Malloc | None = None
+
+    # ------------------------------------------------------------------
+    # raw syscall machinery
+    # ------------------------------------------------------------------
+
+    def syscall(self, name: str, *args) -> Iterator:
+        result = yield SyscallRequest(SYS[name], args)
+        return result
+
+    # Named wrappers (generators). Data-carrying calls take addresses.
+    def sys_open(self, path: str, flags: int = O_RDONLY):
+        return (yield from self.syscall("open", path, flags))
+
+    def sys_close(self, fd: int):
+        return (yield from self.syscall("close", fd))
+
+    def sys_read(self, fd: int, buf_addr: int, count: int):
+        return (yield from self.syscall("read", fd, buf_addr, count))
+
+    def sys_write(self, fd: int, buf_addr: int, count: int):
+        return (yield from self.syscall("write", fd, buf_addr, count))
+
+    def sys_lseek(self, fd: int, offset: int, whence: int = 0):
+        return (yield from self.syscall("lseek", fd, offset, whence))
+
+    def sys_unlink(self, path: str):
+        return (yield from self.syscall("unlink", path))
+
+    def sys_stat(self, path: str):
+        return (yield from self.syscall("stat", path))
+
+    def sys_mkdir(self, path: str):
+        return (yield from self.syscall("mkdir", path))
+
+    def sys_fsync(self, fd: int):
+        return (yield from self.syscall("fsync", fd))
+
+    def sys_ftruncate(self, fd: int, length: int = 0):
+        return (yield from self.syscall("ftruncate", fd, length))
+
+    def sys_dup(self, fd: int):
+        return (yield from self.syscall("dup", fd))
+
+    def sys_pipe(self):
+        packed = yield from self.syscall("pipe")
+        return packed >> 16, packed & 0xFFFF
+
+    def sys_fork(self):
+        return (yield from self.syscall("fork"))
+
+    def sys_execve(self, path: str, args: tuple = ()):
+        return (yield from self.syscall("execve", path, args))
+
+    def sys_exit(self, status: int = 0):
+        return (yield from self.syscall("exit", status))
+
+    def sys_wait4(self, pid: int = -1):
+        packed = yield from self.syscall("wait4", pid)
+        if packed < 0:
+            return packed, packed
+        return packed >> 8, packed & 0xFF
+
+    def sys_getpid(self):
+        return (yield from self.syscall("getpid"))
+
+    def sys_kill(self, pid: int, signum: int):
+        return (yield from self.syscall("kill", pid, signum))
+
+    def sys_sigaction(self, signum: int, handler_addr: int):
+        return (yield from self.syscall("sigaction", signum, handler_addr))
+
+    def sys_mmap(self, addr: int, length: int, prot: int, flags: int,
+                 fd: int = -1, offset: int = 0):
+        return (yield from self.syscall("mmap", addr, length, prot, flags,
+                                        fd, offset))
+
+    def sys_munmap(self, addr: int, length: int):
+        return (yield from self.syscall("munmap", addr, length))
+
+    def sys_brk(self, new_brk: int):
+        return (yield from self.syscall("brk", new_brk))
+
+    def sys_select(self, fds: tuple, block: int = 0):
+        return (yield from self.syscall("select", tuple(fds), block))
+
+    def sys_listen(self, port: int):
+        return (yield from self.syscall("listen", port))
+
+    def sys_accept(self, fd: int):
+        return (yield from self.syscall("accept", fd))
+
+    def sys_connect(self, host: str, port: int):
+        return (yield from self.syscall("connect", host, port))
+
+    def sys_gettimeofday(self):
+        return (yield from self.syscall("gettimeofday"))
+
+    def sys_getrandom(self, buf_addr: int, length: int):
+        return (yield from self.syscall("getrandom", buf_addr, length))
+
+    def sys_sched_yield(self):
+        return (yield from self.syscall("sched_yield"))
+
+    # ------------------------------------------------------------------
+    # user-privilege memory access (no trap; the process touching its own
+    # address space, demand-faulting as the hardware would)
+    # ------------------------------------------------------------------
+
+    def mem_read(self, addr: int, length: int) -> bytes:
+        return self.kernel.read_user(self.proc, addr, length)
+
+    def mem_write(self, addr: int, data: bytes) -> None:
+        self.kernel.write_user(self.proc, addr, data)
+
+    def mem_read_cstr(self, addr: int, limit: int = 4096) -> bytes:
+        raw = self.mem_read(addr, limit)
+        return raw.split(b"\x00")[0]
+
+    # ------------------------------------------------------------------
+    # Virtual Ghost application instructions (do not cross into the OS)
+    # ------------------------------------------------------------------
+
+    def allocgm(self, num_pages: int) -> int:
+        """Allocate ghost pages; returns their base virtual address."""
+        vaddr = self.proc.ghost_cursor
+        if vaddr + num_pages * PAGE_SIZE > GHOST_END:
+            raise KernelError("ghost partition exhausted")
+        self.kernel.vm.allocgm(self.proc.pid, self.proc.aspace.root,
+                               vaddr, num_pages)
+        self.proc.ghost_cursor = vaddr + num_pages * PAGE_SIZE
+        return vaddr
+
+    def allocgm_at(self, vaddr: int, num_pages: int) -> int:
+        self.kernel.vm.allocgm(self.proc.pid, self.proc.aspace.root,
+                               vaddr, num_pages)
+        return vaddr
+
+    def freegm(self, vaddr: int, num_pages: int) -> None:
+        self.kernel.vm.freegm(self.proc.pid, self.proc.aspace.root,
+                              vaddr, num_pages)
+
+    def get_app_key(self) -> bytes:
+        """sva.getKey: the application's key, decrypted by the VM."""
+        return self.kernel.vm.get_app_key(self.proc.pid)
+
+    def sva_random(self, length: int) -> bytes:
+        """Trusted randomness from the Virtual Ghost VM."""
+        return self.kernel.vm.sva_random(length)
+
+    def permit_function(self, addr: int) -> None:
+        """sva.permitFunction: register a valid signal-handler target."""
+        self.kernel.vm.permit_function(self.proc.pid, addr)
+
+    def register_handler(self, fn: Callable) -> int:
+        """Place program code at a fresh user address (link-time act)."""
+        return self.proc.register_code(fn)
+
+    @property
+    def ghost_available(self) -> bool:
+        return self.kernel.vm.config.ghost_memory
+
+    # ------------------------------------------------------------------
+    # misc niceties
+    # ------------------------------------------------------------------
+
+    def set_register(self, name: str, value: int) -> None:
+        """Put a value in a CPU register (as running code does constantly;
+        lets tests model secrets living in registers across traps)."""
+        self.thread.uregs.set(name, value)
+
+    def get_register(self, name: str) -> int:
+        return self.thread.uregs.get(name)
+
+    def malloc_init(self, *, use_ghost: bool) -> "Malloc":
+        self.heap = Malloc(self, use_ghost=use_ghost)
+        return self.heap
+
+
+class Malloc:
+    """Bump allocator over ghost or traditional memory.
+
+    Matches the paper's modified libc: when ghosting, every heap object
+    lives in ghost memory. ``free`` recycles exact-size chunks through a
+    per-size free list (enough realism for the workloads here).
+    """
+
+    #: traditional-heap arena base (inside the user mmap area)
+    _ARENA_PAGES = 64
+
+    def __init__(self, env: UserEnv, *, use_ghost: bool):
+        self.env = env
+        self.use_ghost = use_ghost
+        self._arena_base = 0
+        self._arena_end = 0
+        self._cursor = 0
+        self._free_lists: dict[int, list[int]] = {}
+        self.allocated = 0
+        self.freed = 0
+
+    # NB: traditional arenas come from an anonymous region created lazily
+    # through a *direct kernel call* rather than the mmap syscall --
+    # allocator growth inside arbitrary program points cannot re-enter
+    # the generator protocol. The cost of the mmap path is charged.
+    def _grow(self, min_bytes: int) -> None:
+        pages = max(self._ARENA_PAGES, -(-min_bytes // PAGE_SIZE))
+        if self.use_ghost:
+            base = self.env.allocgm(pages)
+        else:
+            kernel = self.env.kernel
+            base = kernel.vmm.mmap(self.env.proc.aspace, 0,
+                                   pages * PAGE_SIZE,
+                                   PROT_READ | PROT_WRITE, MAP_ANON,
+                                   name="heap")
+            kernel.ctx.work(mem=30, ops=55, rets=3)
+        self._arena_base = base
+        self._arena_end = base + pages * PAGE_SIZE
+        self._cursor = base
+
+    def malloc(self, size: int) -> int:
+        if size <= 0:
+            raise ValueError("malloc of non-positive size")
+        size = (size + 15) // 16 * 16
+        free_list = self._free_lists.get(size)
+        if free_list:
+            self.allocated += 1
+            return free_list.pop()
+        if self._cursor + size > self._arena_end:
+            self._grow(size)
+        addr = self._cursor
+        self._cursor += size
+        self.allocated += 1
+        return addr
+
+    def calloc(self, size: int) -> int:
+        addr = self.malloc(size)
+        self.env.mem_write(addr, bytes(size))
+        return addr
+
+    def realloc(self, addr: int, old_size: int, new_size: int) -> int:
+        new_addr = self.malloc(new_size)
+        if addr and old_size:
+            data = self.env.mem_read(addr, min(old_size, new_size))
+            self.env.mem_write(new_addr, data)
+            self.free(addr, old_size)
+        return new_addr
+
+    def free(self, addr: int, size: int) -> None:
+        if addr == 0:
+            return
+        size = (size + 15) // 16 * 16
+        self._free_lists.setdefault(size, []).append(addr)
+        self.freed += 1
+
+    def store(self, data: bytes) -> int:
+        """malloc + write: the everyday pattern."""
+        addr = self.malloc(max(len(data), 1))
+        self.env.mem_write(addr, data)
+        return addr

@@ -1,0 +1,64 @@
+"""Application installation: the trusted-administrator tool chain.
+
+``install_program`` models what the paper's trusted installer does: embed
+the (encrypted) application key in the executable's key section, sign the
+whole binary with the Virtual Ghost key pair, and register it with the
+OS. Applications installed with the same ``app_key`` form a cooperating
+suite that can share encrypted files (exactly how ssh / ssh-keygen /
+ssh-agent share the authentication keys in section 6).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.keymgmt import SignedExecutable
+from repro.crypto.hmac import hmac_sha256
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.proc import Program
+
+
+def derive_app_key(label: str) -> bytes:
+    """A deterministic 128-bit application key for tests/examples."""
+    return hmac_sha256(b"app-key", label.encode())[:16]
+
+
+def install_program(kernel: "Kernel", path: str, program: "Program", *,
+                    app_key: bytes | None = None) -> SignedExecutable:
+    """Sign ``program`` and register it at ``path`` on ``kernel``."""
+    if app_key is None:
+        app_key = derive_app_key(program.program_id)
+    exe = kernel.vm.keys.install_application(
+        name=path.rsplit("/", 1)[-1],
+        program_id=program.program_id,
+        app_key=app_key)
+    kernel.install_executable(path, program, exe)
+    return exe
+
+
+def install_tampered_program(kernel: "Kernel", path: str,
+                             program: "Program", *,
+                             app_key: bytes | None = None
+                             ) -> SignedExecutable:
+    """Install a binary whose code was modified *after* signing.
+
+    Models the OS (or anyone with disk access) swapping application code:
+    the signature covers the original program_id, so exec must refuse it.
+    """
+    if app_key is None:
+        app_key = derive_app_key(program.program_id)
+    genuine = kernel.vm.keys.install_application(
+        name=path.rsplit("/", 1)[-1],
+        program_id=program.program_id + "-original",
+        app_key=app_key)
+    from repro.crypto.sha256 import sha256
+    tampered = SignedExecutable(
+        name=genuine.name,
+        program_id=program.program_id,                 # swapped code
+        code_digest=sha256(program.program_id.encode()),
+        key_section=genuine.key_section,
+        signature=genuine.signature)                   # stale signature
+    kernel.install_executable(path, program, tampered)
+    return tampered

@@ -1,0 +1,146 @@
+"""Versioned encrypted storage: the paper's future-work item #1.
+
+Section 10 asks: "how should applications ensure that the OS does not
+perform replay attacks by providing older versions of previously
+encrypted files?" This library answers it with a version-bound
+encrypt-then-MAC format:
+
+* every write of a path increments a per-path **version counter** and
+  binds it into the authenticated additional data;
+* the current counters live in a table in **ghost memory** (serialized
+  into a ghost page), where the OS cannot roll them back;
+* on read, the library requires the blob's version to equal the counter
+  it holds -- an older-but-validly-MACed blob (a replay) is rejected,
+  not just a corrupted one.
+
+Scope: counters protect against rollback for the lifetime of the
+process tree that holds the table. Durable cross-boot rollback
+protection additionally needs a hardware monotonic counter (the TPM's),
+which the paper leaves open; the table can be persisted under the
+application key with the TPM counter bound in, but the simulated TPM
+exposes only the seal/unseal interface, so we document the boundary
+rather than fake it.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.crypto.signing import authenticated_decrypt, authenticated_encrypt
+from repro.errors import SignatureError
+from repro.hardware.memory import PAGE_SIZE
+from repro.userland.libc import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY, UserEnv
+from repro.userland.wrappers import GhostWrappers
+
+_MAGIC = b"VSTO"
+_ENTRY = struct.Struct("<32sQ")          # sha256(path), version
+
+
+class SecureStore:
+    """Rollback-protected encrypted files for one application."""
+
+    def __init__(self, env: UserEnv, wrappers: GhostWrappers,
+                 key: bytes):
+        self.env = env
+        self.wrappers = wrappers
+        self.key = key
+        # The counter table lives in ghost memory: a dict mirrored into
+        # a ghost page so the protected copy is what the OS can't touch.
+        self._table_page = env.allocgm(1) if env.ghost_available else 0
+        self._versions: dict[bytes, int] = {}
+        self.replays_detected = 0
+
+    # -- the API ----------------------------------------------------------------
+
+    def save(self, path: str, plaintext: bytes) -> Iterator:
+        """Encrypt and store ``plaintext`` at ``path`` (next version)."""
+        digest = self._path_digest(path)
+        version = self._versions.get(digest, 0) + 1
+        nonce = self.env.sva_random(16)
+        blob = authenticated_encrypt(
+            self.key, plaintext, nonce,
+            aad=self._binding(path, version))
+        payload = _MAGIC + version.to_bytes(8, "big") + blob
+
+        fd = yield from self.env.sys_open(path,
+                                          O_WRONLY | O_CREAT | O_TRUNC)
+        if fd < 0:
+            return False
+        yield from self.wrappers.write_bytes(fd, payload)
+        yield from self.env.sys_close(fd)
+
+        self._versions[digest] = version
+        self._sync_table()
+        return True
+
+    def load(self, path: str) -> Iterator:
+        """Read, verify version + MAC, decrypt. None on tamper/replay."""
+        size = yield from self.env.sys_stat(path)
+        if size < 12:
+            return None
+        fd = yield from self.env.sys_open(path, O_RDONLY)
+        if fd < 0:
+            return None
+        payload = yield from self.wrappers.read_bytes(fd, size)
+        yield from self.env.sys_close(fd)
+
+        if payload[:4] != _MAGIC:
+            return None
+        claimed_version = int.from_bytes(payload[4:12], "big")
+        digest = self._path_digest(path)
+        expected_version = self._versions.get(digest, 0)
+        if claimed_version != expected_version:
+            # a validly-MACed *old* file is exactly the replay attack
+            self.replays_detected += 1
+            return None
+        try:
+            return authenticated_decrypt(
+                self.key, payload[12:],
+                aad=self._binding(path, claimed_version))
+        except SignatureError:
+            return None
+
+    def version_of(self, path: str) -> int:
+        return self._versions.get(self._path_digest(path), 0)
+
+    # -- internals -------------------------------------------------------------------
+
+    @staticmethod
+    def _path_digest(path: str) -> bytes:
+        from repro.crypto.sha256 import sha256
+        return sha256(path.encode())
+
+    @staticmethod
+    def _binding(path: str, version: int) -> bytes:
+        return path.encode() + b"\x00" + version.to_bytes(8, "big")
+
+    def _sync_table(self) -> None:
+        """Mirror the counter table into the ghost page.
+
+        The serialized table is the protected source of truth: even if
+        the Python-side dict were reachable, the ghost copy is what a
+        recovery path would trust.
+        """
+        if not self._table_page:
+            return
+        entries = sorted(self._versions.items())
+        raw = struct.pack("<I", len(entries)) + b"".join(
+            _ENTRY.pack(digest, version) for digest, version in entries)
+        if len(raw) > PAGE_SIZE:
+            raise ValueError("secure store table exceeds one ghost page")
+        self.env.mem_write(self._table_page,
+                           raw.ljust(PAGE_SIZE, b"\x00"))
+
+    def reload_table_from_ghost(self) -> None:
+        """Rebuild the dict from the ghost page (recovery/verification)."""
+        if not self._table_page:
+            return
+        raw = self.env.mem_read(self._table_page, PAGE_SIZE)
+        (count,) = struct.unpack_from("<I", raw, 0)
+        self._versions = {}
+        offset = 4
+        for _ in range(count):
+            digest, version = _ENTRY.unpack_from(raw, offset)
+            self._versions[digest] = version
+            offset += _ENTRY.size

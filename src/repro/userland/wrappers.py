@@ -1,0 +1,171 @@
+"""The system-call wrapper library for ghosting applications.
+
+The paper's port of OpenSSH uses a 667-line wrapper library that (a)
+copies data between ghost memory and traditional memory around system
+calls -- the kernel cannot read or write ghost buffers, so I/O must be
+staged through OS-visible bounce buffers -- and (b) wraps ``signal``/
+``sigaction`` to register handler functions with ``sva.permitFunction``
+before telling the kernel about them. This module is that library.
+
+It also carries the crypto convenience layer the paper describes in
+section 3.3: encrypt-then-MAC file I/O under the application key, so data
+at rest is confidential and tamper-evident even though the OS performs
+the actual disk I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.crypto.signing import authenticated_decrypt, authenticated_encrypt
+from repro.errors import SignatureError
+from repro.kernel.memory import MAP_ANON, PROT_READ, PROT_WRITE
+from repro.userland.libc import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY, UserEnv
+
+#: Size of the traditional-memory staging buffer.
+BOUNCE_SIZE = 65536
+
+
+class GhostWrappers:
+    """Per-process wrapper state: one bounce buffer + helper generators."""
+
+    def __init__(self, env: UserEnv):
+        self.env = env
+        kernel = env.kernel
+        # The bounce buffer must be in *traditional* memory so the kernel
+        # can address it.
+        self.bounce = kernel.vmm.mmap(env.proc.aspace, 0, BOUNCE_SIZE,
+                                      PROT_READ | PROT_WRITE, MAP_ANON,
+                                      name="bounce")
+        kernel.ctx.work(mem=30, ops=55, rets=3)
+        self.bytes_staged = 0
+
+    # ------------------------------------------------------------------
+    # staged I/O
+    # ------------------------------------------------------------------
+
+    def read(self, fd: int, ghost_buf: int, count: int) -> Iterator:
+        """read(2) into a ghost buffer via the bounce buffer."""
+        env = self.env
+        total = 0
+        while total < count:
+            chunk = min(count - total, BOUNCE_SIZE)
+            got = yield from env.sys_read(fd, self.bounce, chunk)
+            if got < 0:
+                return got if total == 0 else total
+            if got == 0:
+                break
+            data = env.mem_read(self.bounce, got)      # user-level copy
+            env.mem_write(ghost_buf + total, data)
+            self.bytes_staged += got
+            total += got
+            if got < chunk:
+                break
+        return total
+
+    def write(self, fd: int, ghost_buf: int, count: int) -> Iterator:
+        """write(2) from a ghost buffer via the bounce buffer."""
+        env = self.env
+        total = 0
+        while total < count:
+            chunk = min(count - total, BOUNCE_SIZE)
+            data = env.mem_read(ghost_buf + total, chunk)
+            env.mem_write(self.bounce, data)           # user-level copy
+            put = yield from env.sys_write(fd, self.bounce, chunk)
+            if put < 0:
+                return put if total == 0 else total
+            self.bytes_staged += put
+            total += put
+            if put < chunk:
+                break
+        return total
+
+    def read_bytes(self, fd: int, count: int) -> Iterator:
+        """read(2) returning bytes (staged through traditional memory)."""
+        env = self.env
+        out = bytearray()
+        while len(out) < count:
+            chunk = min(count - len(out), BOUNCE_SIZE)
+            got = yield from env.sys_read(fd, self.bounce, chunk)
+            if got <= 0:
+                break
+            out += env.mem_read(self.bounce, got)
+            if got < chunk:
+                break
+        return bytes(out)
+
+    def write_bytes(self, fd: int, data: bytes) -> Iterator:
+        env = self.env
+        total = 0
+        view = memoryview(data)
+        while view.nbytes > 0:
+            chunk = bytes(view[:BOUNCE_SIZE])
+            env.mem_write(self.bounce, chunk)
+            put = yield from env.sys_write(fd, self.bounce, len(chunk))
+            if put <= 0:
+                break
+            total += put
+            view = view[put:]
+        return total
+
+    # ------------------------------------------------------------------
+    # signal wrappers
+    # ------------------------------------------------------------------
+
+    def signal(self, signum: int, handler_fn: Callable) -> Iterator:
+        """signal(3): register with Virtual Ghost, then with the kernel.
+
+        Returns the handler's code address.
+        """
+        env = self.env
+        addr = env.register_handler(handler_fn)
+        env.permit_function(addr)
+        result = yield from env.sys_sigaction(signum, addr)
+        if result < 0:
+            return result
+        return addr
+
+    sigaction = signal
+
+    # ------------------------------------------------------------------
+    # encrypted file I/O (application-key protected storage)
+    # ------------------------------------------------------------------
+
+    def save_encrypted(self, path: str, plaintext: bytes,
+                       key: bytes) -> Iterator:
+        """Encrypt-then-MAC ``plaintext`` and write it to ``path``."""
+        env = self.env
+        nonce = env.sva_random(16)
+        env.kernel.ctx.clock.charge("aes_block",
+                                    max(1, len(plaintext) // 16))
+        env.kernel.ctx.clock.charge("sha_block",
+                                    max(1, len(plaintext) // 64))
+        blob = authenticated_encrypt(key, plaintext, nonce,
+                                     aad=path.encode())
+        fd = yield from env.sys_open(path, O_WRONLY | O_CREAT | O_TRUNC)
+        if fd < 0:
+            return fd
+        put = yield from self.write_bytes(fd, blob)
+        yield from env.sys_close(fd)
+        return put
+
+    def load_encrypted(self, path: str, key: bytes) -> Iterator:
+        """Read, verify, and decrypt a file written by save_encrypted.
+
+        Returns None when the MAC fails (the OS tampered with the file).
+        """
+        env = self.env
+        size = yield from env.sys_stat(path)
+        if size < 0:
+            return None
+        fd = yield from env.sys_open(path, O_RDONLY)
+        if fd < 0:
+            return None
+        blob = yield from self.read_bytes(fd, size)
+        yield from env.sys_close(fd)
+        env.kernel.ctx.clock.charge("aes_block", max(1, len(blob) // 16))
+        env.kernel.ctx.clock.charge("sha_block", max(1, len(blob) // 64))
+        try:
+            return authenticated_decrypt(key, blob, aad=path.encode())
+        except SignatureError:
+            return None

@@ -1,0 +1,18 @@
+"""Workload drivers for the paper's evaluation (section 8).
+
+Each module reproduces one experiment's workload:
+
+* :mod:`repro.workloads.lmbench` -- LMBench-style OS microbenchmarks
+  (Table 2).
+* :mod:`repro.workloads.files` -- file create/delete rates (Tables 3, 4).
+* :mod:`repro.workloads.webserver` -- ApacheBench-style driver for thttpd
+  (Figure 2).
+* :mod:`repro.workloads.ssh_transfer` -- sshd server and ghosting-client
+  transfer-rate experiments (Figures 3, 4).
+* :mod:`repro.workloads.postmark` -- the Postmark mail-server benchmark
+  (Table 5).
+"""
+
+from repro.workloads.lmbench import LMBench, MicroBenchResult
+
+__all__ = ["LMBench", "MicroBenchResult"]

@@ -1,0 +1,90 @@
+"""File create/delete rate benchmarks (paper Tables 3 and 4).
+
+LMBench's ``lat_fs``: create N files of a given size, then delete them;
+report files per (simulated) second for each phase and file size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.inktag import RunMetrics
+from repro.hardware.clock import cycles_to_seconds
+from repro.kernel.proc import Program
+from repro.system import System
+from repro.userland.libc import O_CREAT, O_TRUNC, O_WRONLY
+
+#: File sizes of Tables 3/4.
+FILE_SIZES = (0, 1024, 4096, 10240)
+
+
+@dataclass
+class FileRateResult:
+    size: int
+    created_per_sec: float
+    deleted_per_sec: float
+    create_metrics: RunMetrics
+    delete_metrics: RunMetrics
+
+
+class FileChurnProgram(Program):
+    """Creates then deletes ``count`` files of ``size`` bytes."""
+
+    program_id = "lat_fs"
+
+    def __init__(self, size: int, count: int):
+        self.size = size
+        self.count = count
+        self.create_cycles = (0, 0)
+        self.delete_cycles = (0, 0)
+        self.create_counters: tuple[dict, dict] = ({}, {})
+        self.delete_counters: tuple[dict, dict] = ({}, {})
+
+    def main(self, env):
+        heap = env.malloc_init(use_ghost=False)
+        buf = heap.store(b"d" * max(self.size, 1))
+        clock = env.kernel.machine.clock
+
+        start, counters0 = clock.cycles, clock.snapshot()
+        for index in range(self.count):
+            fd = yield from env.sys_open(f"/churn{index:05d}",
+                                         O_WRONLY | O_CREAT | O_TRUNC)
+            if self.size:
+                yield from env.sys_write(fd, buf, self.size)
+            yield from env.sys_close(fd)
+        self.create_cycles = (start, clock.cycles)
+        self.create_counters = (counters0, clock.snapshot())
+
+        start, counters0 = clock.cycles, clock.snapshot()
+        for index in range(self.count):
+            yield from env.sys_unlink(f"/churn{index:05d}")
+        self.delete_cycles = (start, clock.cycles)
+        self.delete_counters = (counters0, clock.snapshot())
+        return 0
+
+
+def run_file_churn(config, *, size: int, count: int = 64,
+                   memory_mb: int = 64) -> FileRateResult:
+    system = System.create(config, memory_mb=memory_mb)
+    program = FileChurnProgram(size, count)
+    system.install("/bin/churn", program)
+    proc = system.spawn("/bin/churn")
+    system.run_until_exit(proc, max_slices=4_000_000)
+
+    def _rate(span: tuple[int, int]) -> float:
+        seconds = cycles_to_seconds(span[1] - span[0])
+        return count / seconds if seconds else float("inf")
+
+    def _metrics(span, counters) -> RunMetrics:
+        delta = {k: counters[1].get(k, 0) - counters[0].get(k, 0)
+                 for k in counters[1]}
+        return RunMetrics(cycles=span[1] - span[0], counters=delta)
+
+    return FileRateResult(
+        size=size,
+        created_per_sec=_rate(program.create_cycles),
+        deleted_per_sec=_rate(program.delete_cycles),
+        create_metrics=_metrics(program.create_cycles,
+                                program.create_counters),
+        delete_metrics=_metrics(program.delete_cycles,
+                                program.delete_counters))

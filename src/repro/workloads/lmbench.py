@@ -1,0 +1,292 @@
+"""LMBench-style microbenchmarks (paper Table 2).
+
+Nine latency probes, each implemented as a user program that loops the
+measured operation between two clock marks. Simulated time divided by
+iteration count gives microseconds per operation; the event-counter diff
+over the measured region feeds the InkTag baseline model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.inktag import RunMetrics
+from repro.kernel.memory import MAP_FILE, PROT_READ
+from repro.kernel.proc import Program
+from repro.kernel.signals import SIGUSR1
+from repro.system import System
+from repro.userland.libc import O_CREAT, O_RDONLY, O_WRONLY
+from repro.userland.wrappers import GhostWrappers
+
+BENCH_NAMES = (
+    "null_syscall", "open_close", "mmap", "page_fault",
+    "signal_install", "signal_delivery", "fork_exit", "fork_exec",
+    "select",
+)
+
+
+@dataclass
+class MicroBenchResult:
+    name: str
+    us_per_op: float
+    ops: int
+    metrics: RunMetrics
+    page_faults: int = 0
+
+
+class _Measured(Program):
+    """Program base: clock marks + counter snapshots around the loop."""
+
+    def __init__(self, iterations: int):
+        self.iterations = iterations
+        self.start_cycles = 0
+        self.end_cycles = 0
+        self.start_counters: dict[str, int] = {}
+        self.end_counters: dict[str, int] = {}
+        self.start_faults = 0
+        self.end_faults = 0
+
+    def mark_start(self, env) -> None:
+        clock = env.kernel.machine.clock
+        self.start_cycles = clock.cycles
+        self.start_counters = clock.snapshot()
+        self.start_faults = env.kernel.vmm.page_faults
+
+    def mark_end(self, env) -> None:
+        clock = env.kernel.machine.clock
+        self.end_cycles = clock.cycles
+        self.end_counters = clock.snapshot()
+        self.end_faults = env.kernel.vmm.page_faults
+
+    def metrics(self) -> RunMetrics:
+        delta = {key: self.end_counters.get(key, 0)
+                 - self.start_counters.get(key, 0)
+                 for key in self.end_counters}
+        return RunMetrics(cycles=self.end_cycles - self.start_cycles,
+                          counters=delta)
+
+
+class NullSyscallBench(_Measured):
+    program_id = "lat_syscall-null"
+
+    def main(self, env):
+        yield from env.sys_getpid()               # warm
+        self.mark_start(env)
+        for _ in range(self.iterations):
+            yield from env.sys_getpid()
+        self.mark_end(env)
+        return 0
+
+
+class OpenCloseBench(_Measured):
+    program_id = "lat_syscall-open"
+
+    def main(self, env):
+        fd = yield from env.sys_open("/bench.dat", O_WRONLY | O_CREAT)
+        yield from env.sys_close(fd)
+        self.mark_start(env)
+        for _ in range(self.iterations):
+            fd = yield from env.sys_open("/bench.dat", O_RDONLY)
+            yield from env.sys_close(fd)
+        self.mark_end(env)
+        return 0
+
+
+class MmapBench(_Measured):
+    program_id = "lat_mmap"
+    FILE_BYTES = 65536
+
+    def main(self, env):
+        heap = env.malloc_init(use_ghost=False)
+        buf = heap.store(b"z" * 4096)
+        fd = yield from env.sys_open("/mmap.dat", O_WRONLY | O_CREAT)
+        for _ in range(self.FILE_BYTES // 4096):
+            yield from env.sys_write(fd, buf, 4096)
+        yield from env.sys_close(fd)
+        fd = yield from env.sys_open("/mmap.dat", O_RDONLY)
+        self.mark_start(env)
+        for _ in range(self.iterations):
+            addr = yield from env.sys_mmap(0, self.FILE_BYTES, PROT_READ,
+                                           MAP_FILE, fd, 0)
+            yield from env.sys_munmap(addr, self.FILE_BYTES)
+        self.mark_end(env)
+        yield from env.sys_close(fd)
+        return 0
+
+
+class PageFaultBench(_Measured):
+    """Touch pages of a freshly mapped file; LMBench lat_pagefault."""
+
+    program_id = "lat_pagefault"
+    FILE_PAGES = 64
+
+    def main(self, env):
+        heap = env.malloc_init(use_ghost=False)
+        buf = heap.store(b"f" * 4096)
+        fd = yield from env.sys_open("/pf.dat", O_WRONLY | O_CREAT)
+        for _ in range(self.FILE_PAGES):
+            yield from env.sys_write(fd, buf, 4096)
+        yield from env.sys_close(fd)
+        fd = yield from env.sys_open("/pf.dat", O_RDONLY)
+
+        # warm the file cache (LMBench touches the file once first)
+        addr = yield from env.sys_mmap(0, self.FILE_PAGES * 4096,
+                                       PROT_READ, MAP_FILE, fd, 0)
+        for page in range(self.FILE_PAGES):
+            env.mem_read(addr + page * 4096, 1)
+        yield from env.sys_munmap(addr, self.FILE_PAGES * 4096)
+
+        rounds = max(1, self.iterations // self.FILE_PAGES)
+        self.touches = rounds * self.FILE_PAGES
+        self.mark_start(env)
+        for _ in range(rounds):
+            addr = yield from env.sys_mmap(0, self.FILE_PAGES * 4096,
+                                           PROT_READ, MAP_FILE, fd, 0)
+            for page in range(self.FILE_PAGES):
+                env.mem_read(addr + page * 4096, 1)
+            yield from env.sys_munmap(addr, self.FILE_PAGES * 4096)
+        self.mark_end(env)
+        yield from env.sys_close(fd)
+        return 0
+
+
+class SignalInstallBench(_Measured):
+    program_id = "lat_sig-install"
+
+    def main(self, env):
+        env.malloc_init(use_ghost=False)
+        handler_addr = env.register_handler(_empty_handler)
+        env.permit_function(handler_addr)
+        self.mark_start(env)
+        for _ in range(self.iterations):
+            yield from env.sys_sigaction(SIGUSR1, handler_addr)
+        self.mark_end(env)
+        return 0
+
+
+def _empty_handler(env, *args):
+    return 0
+    yield  # pragma: no cover
+
+
+class SignalDeliveryBench(_Measured):
+    program_id = "lat_sig-catch"
+
+    def main(self, env):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        yield from wrappers.signal(SIGUSR1, _empty_handler)
+        pid = yield from env.sys_getpid()
+        yield from env.sys_kill(pid, SIGUSR1)       # warm
+        self.mark_start(env)
+        for _ in range(self.iterations):
+            yield from env.sys_kill(pid, SIGUSR1)
+        self.mark_end(env)
+        return 0
+
+
+class ForkExitBench(_Measured):
+    program_id = "lat_proc-fork"
+
+    def main(self, env):
+        env.malloc_init(use_ghost=False)
+        self.mark_start(env)
+        for _ in range(self.iterations):
+            child = yield from env.sys_fork()
+            if child > 0:
+                yield from env.sys_wait4(child)
+        self.mark_end(env)
+        return 0
+
+    def child_main(self, env):
+        yield from env.sys_exit(0)
+
+
+class TrueProgram(Program):
+    """/bin/true: exit(0)."""
+
+    program_id = "true"
+
+    def main(self, env):
+        yield from env.sys_exit(0)
+
+
+class ForkExecBench(_Measured):
+    program_id = "lat_proc-exec"
+
+    def main(self, env):
+        env.malloc_init(use_ghost=False)
+        self.mark_start(env)
+        for _ in range(self.iterations):
+            child = yield from env.sys_fork()
+            if child > 0:
+                yield from env.sys_wait4(child)
+        self.mark_end(env)
+        return 0
+
+    def child_main(self, env):
+        yield from env.sys_execve("/bin/true")
+
+
+class SelectBench(_Measured):
+    program_id = "lat_select"
+    NUM_PIPES = 16
+
+    def main(self, env):
+        env.malloc_init(use_ghost=False)
+        fds = []
+        for _ in range(self.NUM_PIPES):
+            read_fd, write_fd = yield from env.sys_pipe()
+            fds.extend((read_fd, write_fd))
+        watch = tuple(fds[0::2]) + tuple(fds[1::2])
+        self.mark_start(env)
+        for _ in range(self.iterations):
+            yield from env.sys_select(watch, 0)
+        self.mark_end(env)
+        return 0
+
+
+_BENCH_CLASSES = {
+    "null_syscall": NullSyscallBench,
+    "open_close": OpenCloseBench,
+    "mmap": MmapBench,
+    "page_fault": PageFaultBench,
+    "signal_install": SignalInstallBench,
+    "signal_delivery": SignalDeliveryBench,
+    "fork_exit": ForkExitBench,
+    "fork_exec": ForkExecBench,
+    "select": SelectBench,
+}
+
+
+class LMBench:
+    """Runs the microbenchmark suite on a given configuration."""
+
+    def __init__(self, config, *, iterations: int = 100,
+                 memory_mb: int = 128):
+        self.config = config
+        self.iterations = iterations
+        self.memory_mb = memory_mb
+
+    def run_one(self, name: str) -> MicroBenchResult:
+        bench_class = _BENCH_CLASSES[name]
+        system = System.create(self.config, memory_mb=self.memory_mb)
+        program = bench_class(self.iterations)
+        system.install("/bin/bench", program)
+        if name == "fork_exec":
+            system.install("/bin/true", TrueProgram())
+        proc = system.spawn("/bin/bench")
+        system.run_until_exit(proc, max_slices=4_000_000)
+
+        ops = getattr(program, "touches", None) or program.iterations
+        elapsed = program.end_cycles - program.start_cycles
+        from repro.hardware.clock import cycles_to_us
+        faults = program.end_faults - program.start_faults
+        return MicroBenchResult(name=name,
+                                us_per_op=cycles_to_us(elapsed) / ops,
+                                ops=ops,
+                                metrics=program.metrics(),
+                                page_faults=faults)
+
+    def run(self, names=BENCH_NAMES) -> dict[str, MicroBenchResult]:
+        return {name: self.run_one(name) for name in names}

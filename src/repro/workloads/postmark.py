@@ -1,0 +1,163 @@
+"""Postmark (paper Table 5): the mail-server filesystem benchmark.
+
+Configuration follows section 8.5: 500 base files, sizes 500 bytes to
+9.77 KB, 512-byte read/write block size, read/append and create/delete
+biases of 5 (on Postmark's 1..10 scale), buffered I/O. The paper runs
+500,000 transactions; the simulation runs a scaled count (deterministic,
+zero variance) and reports total simulated seconds plus transaction rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDRBG
+from repro.hardware.clock import cycles_to_seconds
+from repro.kernel.proc import Program
+from repro.system import System
+from repro.userland.libc import O_APPEND, O_CREAT, O_RDONLY, O_WRONLY
+
+BASE_FILES = 500
+MIN_SIZE = 500
+MAX_SIZE = 10_000                  # ~9.77 KB
+BLOCK_SIZE = 512
+READ_BIAS = 5                      # of 10: half reads, half appends
+CREATE_BIAS = 5                    # of 10: half creates, half deletes
+
+
+@dataclass
+class PostmarkResult:
+    seconds: float
+    transactions: int
+    transactions_per_sec: float
+    files_created: int
+    files_deleted: int
+    bytes_read: int
+    bytes_written: int
+
+
+class _Rng:
+    """Deterministic PRNG shared by both configurations' runs."""
+
+    def __init__(self, seed: bytes):
+        self._drbg = HmacDRBG(b"postmark" + seed)
+
+    def below(self, upper: int) -> int:
+        return self._drbg.randint(upper)
+
+    def size(self) -> int:
+        return MIN_SIZE + self.below(MAX_SIZE - MIN_SIZE + 1)
+
+
+class PostmarkProgram(Program):
+    """The benchmark process: setup, transactions, teardown."""
+
+    program_id = "postmark-1.51"
+
+    def __init__(self, transactions: int, seed: bytes = b"0"):
+        self.transactions = transactions
+        self.seed = seed
+        self.start_cycles = 0
+        self.end_cycles = 0
+        self.files_created = 0
+        self.files_deleted = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def main(self, env):
+        heap = env.malloc_init(use_ghost=False)
+        buf = heap.store(b"m" * MAX_SIZE)
+        rng = _Rng(self.seed)
+        yield from env.sys_mkdir("/mail")
+
+        live: list[str] = []
+        next_id = 0
+
+        def new_name() -> str:
+            nonlocal next_id
+            next_id += 1
+            return f"/mail/msg{next_id:06d}"
+
+        # -- setup: create the base file set -------------------------------
+        for _ in range(BASE_FILES):
+            name = new_name()
+            size = rng.size()
+            fd = yield from env.sys_open(name, O_WRONLY | O_CREAT)
+            yield from self._write_blocks(env, fd, buf, size)
+            yield from env.sys_close(fd)
+            live.append(name)
+            self.files_created += 1
+
+        # -- transactions -----------------------------------------------------
+        clock = env.kernel.machine.clock
+        self.start_cycles = clock.cycles
+        for _ in range(self.transactions):
+            if rng.below(10) < READ_BIAS:
+                # read a whole file in blocks
+                name = live[rng.below(len(live))]
+                size = yield from env.sys_stat(name)
+                fd = yield from env.sys_open(name, O_RDONLY)
+                remaining = max(size, 0)
+                while remaining > 0:
+                    got = yield from env.sys_read(
+                        fd, buf, min(BLOCK_SIZE, remaining))
+                    if got <= 0:
+                        break
+                    self.bytes_read += got
+                    remaining -= got
+                yield from env.sys_close(fd)
+            else:
+                # append a random amount in blocks
+                name = live[rng.below(len(live))]
+                fd = yield from env.sys_open(name, O_WRONLY | O_APPEND)
+                yield from self._write_blocks(env, fd, buf, rng.size())
+                yield from env.sys_close(fd)
+
+            if rng.below(10) < CREATE_BIAS:
+                name = new_name()
+                fd = yield from env.sys_open(name, O_WRONLY | O_CREAT)
+                yield from self._write_blocks(env, fd, buf, rng.size())
+                yield from env.sys_close(fd)
+                live.append(name)
+                self.files_created += 1
+            elif len(live) > 1:
+                victim = live.pop(rng.below(len(live)))
+                yield from env.sys_unlink(victim)
+                self.files_deleted += 1
+        self.end_cycles = clock.cycles
+
+        # -- teardown -------------------------------------------------------------
+        for name in live:
+            yield from env.sys_unlink(name)
+        return 0
+
+    def _write_blocks(self, env, fd: int, buf: int, size: int):
+        remaining = size
+        while remaining > 0:
+            chunk = min(BLOCK_SIZE, remaining)
+            put = yield from env.sys_write(fd, buf, chunk)
+            if put <= 0:
+                break
+            self.bytes_written += put
+            remaining -= put
+
+
+def run_postmark(config, *, transactions: int = 600,
+                 memory_mb: int = 128, disk_mb: int = 192,
+                 seed: bytes = b"0") -> PostmarkResult:
+    system = System.create(config, memory_mb=memory_mb, disk_mb=disk_mb)
+    program = PostmarkProgram(transactions, seed=seed)
+    system.install("/bin/postmark", program)
+    proc = system.spawn("/bin/postmark")
+    status = system.run_until_exit(proc, max_slices=8_000_000)
+    if status != 0:
+        raise RuntimeError(f"postmark exited {status}")
+    seconds = cycles_to_seconds(program.end_cycles - program.start_cycles)
+    return PostmarkResult(
+        seconds=seconds,
+        transactions=transactions,
+        transactions_per_sec=transactions / seconds if seconds else 0.0,
+        files_created=program.files_created,
+        files_deleted=program.files_deleted,
+        bytes_read=program.bytes_read,
+        bytes_written=program.bytes_written)

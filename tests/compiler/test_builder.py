@@ -1,0 +1,136 @@
+"""IRBuilder: programmatic module construction."""
+
+import pytest
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.codegen import CodeGenerator
+from repro.compiler.interp import Interpreter
+from repro.compiler.ir import Module
+from repro.compiler.verifier import verify_module
+from repro.core.layout import KERNEL_CODE_START
+from repro.errors import CompilerError
+from repro.hardware.clock import CycleClock
+
+from tests.compiler.test_interp import DictMemory
+
+
+def _run(module, function, args, externs=None):
+    verify_module(module)
+    image = CodeGenerator(KERNEL_CODE_START + 0x900000,
+                          KERNEL_CODE_START + 0xA00000).generate(module)
+    interp = Interpreter(image, DictMemory(), CycleClock(),
+                         externs=externs or {},
+                         stack_top=KERNEL_CODE_START + 0xB00000)
+    return interp.run(function, args)
+
+
+def test_build_and_run_arithmetic():
+    module = Module(name="built")
+    builder = IRBuilder(module)
+    builder.new_function("compute", ["a", "b"])
+    builder.new_block("entry")
+    total = builder.add("a", "b")
+    doubled = builder.mul(total, 2)
+    builder.ret(doubled)
+    assert _run(module, "compute", [3, 4]) == 14
+
+
+def test_build_control_flow():
+    module = Module(name="built")
+    builder = IRBuilder(module)
+    builder.new_function("max", ["a", "b"])
+    builder.new_block("entry")
+    cond = builder.icmp("ugt", "a", "b")
+    builder.condbr(cond, "take_a", "take_b")
+    builder.new_block("take_a")
+    builder.ret("a")
+    builder.new_block("take_b")
+    builder.ret("b")
+    assert _run(module, "max", [9, 5]) == 9
+    assert _run(module, "max", [2, 7]) == 7
+
+
+def test_build_memory_and_globals():
+    module = Module(name="built")
+    builder = IRBuilder(module)
+    slot = builder.global_var("slot", 8)
+    builder.new_function("bump", [])
+    builder.new_block("entry")
+    value = builder.load(slot)
+    new_value = builder.add(value, 1)
+    builder.store(new_value, slot)
+    builder.ret(new_value)
+    assert _run(module, "bump", []) == 1
+
+
+def test_build_calls_and_select():
+    module = Module(name="built")
+    builder = IRBuilder(module)
+    builder.new_function("helper", ["x"])
+    builder.new_block("entry")
+    builder.ret(builder.xor("x", 0xFF))
+    builder.new_function("main", [])
+    builder.new_block("entry")
+    result = builder.call("helper", [0x0F])
+    picked = builder.select(1, result, 0)
+    builder.ret(picked)
+    assert _run(module, "main", []) == 0xF0
+
+
+def test_build_alloca_and_memset():
+    module = Module(name="built")
+    builder = IRBuilder(module)
+    builder.new_function("f", [])
+    builder.new_block("entry")
+    buf = builder.alloca(32)
+    builder.memset(buf, 0xAA, 8)
+    builder.ret(builder.load(buf))
+    assert _run(module, "f", []) == 0xAAAAAAAAAAAAAAAA
+
+
+def test_emit_after_terminator_rejected():
+    module = Module(name="built")
+    builder = IRBuilder(module)
+    builder.new_function("f", [])
+    builder.new_block("entry")
+    builder.ret(0)
+    with pytest.raises(CompilerError, match="terminated"):
+        builder.ret(1)
+
+
+def test_duplicate_block_label_rejected():
+    module = Module(name="built")
+    builder = IRBuilder(module)
+    builder.new_function("f", [])
+    builder.new_block("entry")
+    with pytest.raises(CompilerError, match="duplicate"):
+        builder.new_block("entry")
+
+
+def test_fresh_names_unique():
+    module = Module(name="built")
+    builder = IRBuilder(module)
+    names = {builder.fresh() for _ in range(100)}
+    assert len(names) == 100
+
+
+def test_emit_without_block_rejected():
+    module = Module(name="built")
+    builder = IRBuilder(module)
+    builder.new_function("f", [])
+    with pytest.raises(CompilerError, match="no current block"):
+        builder.ret(0)
+
+
+def test_set_block_switches_insertion_point():
+    module = Module(name="built")
+    builder = IRBuilder(module)
+    builder.new_function("f", [])
+    builder.new_block("entry")
+    builder.br("later")
+    builder.new_block("later")
+    builder.ret(7)
+    builder.set_block("entry")   # entry is terminated; appending fails
+    with pytest.raises(CompilerError):
+        builder.ret(0)
+    assert _run(module, "f", []) == 7

@@ -1,0 +1,191 @@
+"""Code generation, translation signing, and dataflow utilities."""
+
+import pytest
+
+from repro.compiler.codegen import CodeGenerator
+from repro.compiler.dataflow import (call_graph, direct_callees,
+                                     has_indirect_transfers,
+                                     reverse_postorder, successors,
+                                     unreachable_blocks)
+from repro.compiler.ir import Imm
+from repro.compiler.parser import parse_module
+from repro.core.layout import KERNEL_CODE_START
+from repro.errors import CompilerError, SignatureError
+
+CODE_BASE = KERNEL_CODE_START + 0x700000
+DATA_BASE = KERNEL_CODE_START + 0x800000
+
+SOURCE = """
+module demo
+global @data 24 = "xyz"
+func @a() {
+entry:
+  %r = call @b()
+  ret %r
+}
+func @b() {
+entry:
+  %c = icmp eq 1, 1
+  condbr %c, yes, no
+yes:
+  ret 1
+no:
+  br dead_end
+dead_end:
+  ret 2
+}
+func @indirecty(%fp) {
+entry:
+  %r = callind %fp()
+  ret %r
+}
+"""
+
+
+def _image():
+    return CodeGenerator(CODE_BASE, DATA_BASE).generate(
+        parse_module(SOURCE))
+
+
+def test_functions_get_disjoint_address_ranges():
+    image = _image()
+    ranges = sorted((f.base, f.end) for f in image.functions.values())
+    for (_, end_a), (start_b, _) in zip(ranges, ranges[1:]):
+        assert end_a <= start_b
+
+
+def test_function_at_resolves_entries_only():
+    image = _image()
+    fa = image.functions["a"]
+    assert image.function_at(fa.base) is fa
+    assert image.function_at(fa.base + 1) is None
+
+
+def test_locate_resolves_interior_addresses():
+    image = _image()
+    fb = image.functions["b"]
+    function, index = image.locate(fb.base + 2)
+    assert function is fb and index == 2
+    assert image.locate(0xDEAD) is None
+
+
+def test_globals_assigned_addresses_and_inits():
+    image = _image()
+    assert image.global_addrs["data"] >= DATA_BASE
+    assert image.global_inits["data"].startswith(b"xyz")
+    assert image.data_size >= 24
+
+
+def test_branch_targets_become_indices():
+    image = _image()
+    fb = image.functions["b"]
+    condbr = next(i for i in fb.insns if i.opcode == "condbr")
+    assert all(isinstance(t, int) and 0 <= t < len(fb.insns)
+               for t in condbr.targets)
+
+
+def test_function_refs_lower_to_addresses():
+    source = """
+module m
+func @t() {
+entry:
+  ret 0
+}
+func @f() {
+entry:
+  %fp = mov @t
+  ret %fp
+}
+"""
+    image = CodeGenerator(CODE_BASE, DATA_BASE).generate(
+        parse_module(source))
+    mov = image.functions["f"].insns[0]
+    assert isinstance(mov.operands[0], Imm)
+    assert mov.operands[0].value == image.functions["t"].base
+
+
+def test_address_of_extern_rejected():
+    source = """
+module m
+extern @e/0
+func @f() {
+entry:
+  %fp = mov @e
+  ret %fp
+}
+"""
+    with pytest.raises(CompilerError, match="extern"):
+        CodeGenerator(CODE_BASE, DATA_BASE).generate(parse_module(source))
+
+
+# -- signing --------------------------------------------------------------------
+
+def test_sign_verify_roundtrip():
+    image = _image()
+    image.sign(b"translation-key")
+    image.verify(b"translation-key")
+
+
+def test_unsigned_image_fails_verification():
+    image = _image()
+    with pytest.raises(SignatureError, match="unsigned"):
+        image.verify(b"key")
+
+
+def test_tampered_instruction_fails_verification():
+    image = _image()
+    image.sign(b"key")
+    image.functions["b"].insns[-1].operands[:] = [Imm(99)]
+    with pytest.raises(SignatureError, match="tampered"):
+        image.verify(b"key")
+
+
+def test_wrong_key_fails_verification():
+    image = _image()
+    image.sign(b"key-a")
+    with pytest.raises(SignatureError):
+        image.verify(b"key-b")
+
+
+# -- dataflow --------------------------------------------------------------------
+
+def test_successors():
+    module = parse_module(SOURCE)
+    fb = module.functions["b"]
+    assert successors(fb, "entry") == ["yes", "no"]
+    assert successors(fb, "yes") == []
+
+
+def test_reverse_postorder_starts_at_entry():
+    module = parse_module(SOURCE)
+    order = reverse_postorder(module.functions["b"])
+    assert order[0] == "entry"
+    assert set(order) == {"entry", "yes", "no", "dead_end"}
+
+
+def test_unreachable_blocks_detected():
+    source = """
+module m
+func @f() {
+entry:
+  ret 0
+island:
+  ret 1
+}
+"""
+    module = parse_module(source)
+    assert unreachable_blocks(module.functions["f"]) == {"island"}
+
+
+def test_call_graph_and_callees():
+    module = parse_module(SOURCE)
+    assert direct_callees(module.functions["a"]) == {"b"}
+    graph = call_graph(module)
+    assert graph["a"] == {"b"}
+    assert graph["b"] == set()
+
+
+def test_has_indirect_transfers():
+    module = parse_module(SOURCE)
+    assert has_indirect_transfers(module.functions["indirecty"])
+    assert not has_indirect_transfers(module.functions["a"])

@@ -1,0 +1,232 @@
+"""IR parser and verifier."""
+
+import pytest
+
+from repro.compiler.ir import (FuncRef, GlobalRef, Imm, Instruction, Module,
+                               Reg)
+from repro.compiler.parser import parse_module
+from repro.compiler.verifier import verify_module
+from repro.errors import CompilerError, IRParseError
+
+
+GOOD = """
+module demo
+
+extern @helper/2
+global @buf 32
+global @msg 5 = "hello"
+global @blob 4 = hex:deadbeef
+
+func @add(%a, %b) {
+entry:
+  %s = add %a, %b
+  ret %s
+}
+
+func @looper(%n) {
+entry:
+  %i = mov 0
+  br head
+head:
+  %done = icmp uge %i, %n
+  condbr %done, out, body
+body:
+  %i = add %i, 1
+  br head
+out:
+  ret %i
+}
+
+func @calls(%x) {
+entry:
+  %r = call @add(%x, 5)
+  %fp = mov @add
+  %r2 = callind %fp(%r, 1)
+  %h = call @helper(%r2, 0)
+  ret %h
+}
+
+func @memops(%p) {
+entry:
+  %v = load8 %p
+  store4 %v, @buf
+  memcpy @buf, %p, 16
+  memset @buf, 0, 8
+  %q = alloca 64
+  store8 %v, %q
+  ret 0
+}
+"""
+
+
+def test_parse_good_module():
+    module = parse_module(GOOD)
+    assert module.name == "demo"
+    assert set(module.functions) == {"add", "looper", "calls", "memops"}
+    assert module.externs["helper"].num_params == 2
+    assert module.globals["buf"].size == 32
+    assert module.globals["msg"].initial_bytes() == b"hello"
+    assert module.globals["blob"].initial_bytes() == bytes.fromhex(
+        "deadbeef")
+    verify_module(module)
+
+
+def test_parse_preserves_block_structure():
+    module = parse_module(GOOD)
+    looper = module.functions["looper"]
+    assert [b.label for b in looper.blocks] == ["entry", "head", "body",
+                                                "out"]
+    assert looper.entry.terminator.opcode == "br"
+
+
+def test_roundtrip_through_str():
+    module = parse_module(GOOD)
+    # the module prints in a loosely-parsable form; sanity-check content
+    text = str(module)
+    assert "func @add" in text and "module demo" in text
+
+
+def test_comments_and_blank_lines_ignored():
+    module = parse_module("""
+module m
+# a comment
+func @f() {     # trailing comment is not allowed on func... on its own
+entry:
+  # comment inside
+  ret 0
+}
+""".replace("{     # trailing comment is not allowed on func... on its own",
+            "{"))
+    assert "f" in module.functions
+
+
+@pytest.mark.parametrize("source, fragment", [
+    ("func @f() {\nentry:\n ret 0\n}", "module"),
+    ("module m\nfunc @f() {\nentry:\n  %x = frobnicate 1\n}", "opcode"),
+    ("module m\nfunc @f() {\n  ret 0\n}", "before any label"),
+    ("module m\nfunc @f() {\nentry:\n  ret 0", "unterminated"),
+    ("module m\nfunc @f(a) {\nentry:\n  ret 0\n}", "%"),
+    ("module m\nglobal @g 4 = \"toolong\"\n", "longer"),
+    ("module m\nfunc @f() {\nentry:\n  %x = add %a\n}", "operand"),
+    ("module m\nfunc @f() {\nentry:\nentry:\n  ret 0\n}", "duplicate"),
+    ("module m\nfunc @f() {\nentry:\n  condbr %c, only_one\n}", "condbr"),
+])
+def test_parse_errors(source, fragment):
+    with pytest.raises(IRParseError) as exc:
+        parse_module(source)
+    assert fragment.lower() in str(exc.value).lower()
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(CompilerError):
+        parse_module("module m\n"
+                     "func @f() {\nentry:\n  ret 0\n}\n"
+                     "func @f() {\nentry:\n  ret 0\n}\n")
+
+
+# -- verifier -------------------------------------------------------------------
+
+def _module_with(insns, params=("a",)):
+    from repro.compiler.ir import BasicBlock, Function
+    module = Module(name="t")
+    function = Function(name="f", params=list(params))
+    function.blocks.append(BasicBlock(label="entry", instructions=insns))
+    module.functions["f"] = function
+    return module
+
+
+def test_verifier_accepts_valid():
+    verify_module(_module_with([
+        Instruction(opcode="add", result="x", operands=[Reg("a"), Imm(1)]),
+        Instruction(opcode="ret", operands=[Reg("x")]),
+    ]))
+
+
+def test_verifier_rejects_missing_terminator():
+    with pytest.raises(CompilerError, match="terminator"):
+        verify_module(_module_with([
+            Instruction(opcode="add", result="x",
+                        operands=[Reg("a"), Imm(1)]),
+        ]))
+
+
+def test_verifier_rejects_terminator_mid_block():
+    with pytest.raises(CompilerError, match="not at block end"):
+        verify_module(_module_with([
+            Instruction(opcode="ret", operands=[]),
+            Instruction(opcode="ret", operands=[]),
+        ]))
+
+
+def test_verifier_rejects_undefined_register():
+    with pytest.raises(CompilerError, match="undefined register"):
+        verify_module(_module_with([
+            Instruction(opcode="ret", operands=[Reg("ghost")]),
+        ]))
+
+
+def test_verifier_rejects_unknown_branch_target():
+    with pytest.raises(CompilerError, match="unknown label"):
+        verify_module(_module_with([
+            Instruction(opcode="br", targets=["nowhere"]),
+        ]))
+
+
+def test_verifier_rejects_unknown_symbol():
+    with pytest.raises(CompilerError, match="unknown symbol"):
+        verify_module(_module_with([
+            Instruction(opcode="load8", result="v",
+                        operands=[GlobalRef("nope")]),
+            Instruction(opcode="ret", operands=[]),
+        ]))
+
+
+def test_verifier_rejects_call_arity_mismatch():
+    module = parse_module("""
+module m
+func @callee(%a, %b) {
+entry:
+  ret 0
+}
+func @caller() {
+entry:
+  %r = call @callee(1)
+  ret %r
+}
+""")
+    with pytest.raises(CompilerError, match="expects 2"):
+        verify_module(module)
+
+
+def test_verifier_rejects_unknown_callee():
+    with pytest.raises(CompilerError, match="unknown function"):
+        verify_module(_module_with([
+            Instruction(opcode="call", result="r",
+                        operands=[FuncRef("missing")]),
+            Instruction(opcode="ret", operands=[]),
+        ]))
+
+
+def test_verifier_rejects_result_on_store():
+    with pytest.raises(CompilerError):
+        verify_module(_module_with([
+            Instruction(opcode="store8", result="bad",
+                        operands=[Reg("a"), Reg("a")]),
+            Instruction(opcode="ret", operands=[]),
+        ]))
+
+
+def test_verifier_rejects_valueless_add():
+    with pytest.raises(CompilerError, match="must have a result"):
+        verify_module(_module_with([
+            Instruction(opcode="add", operands=[Reg("a"), Imm(1)]),
+            Instruction(opcode="ret", operands=[]),
+        ]))
+
+
+def test_verifier_rejects_zero_alloca():
+    with pytest.raises(CompilerError, match="alloca"):
+        verify_module(_module_with([
+            Instruction(opcode="alloca", result="p", operands=[Imm(0)]),
+            Instruction(opcode="ret", operands=[]),
+        ]))

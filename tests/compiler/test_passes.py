@@ -1,0 +1,298 @@
+"""Instrumentation passes: sandboxing, CFI, mmap-mask, pipelines."""
+
+import pytest
+
+from repro.compiler.codegen import CodeGenerator
+from repro.compiler.interp import Interpreter
+from repro.compiler.parser import parse_module
+from repro.compiler.passes.cfi import CFIPass
+from repro.compiler.passes.mmap_mask import MmapMaskPass
+from repro.compiler.passes.pipeline import (PassManager, vg_app_pipeline,
+                                            vg_kernel_pipeline)
+from repro.compiler.passes.sandbox import SandboxPass
+from repro.compiler.verifier import verify_module
+from repro.core.layout import (GHOST_START, KERNEL_CODE_START, SVA_START,
+                               mask_address)
+from repro.errors import CFIViolation
+from repro.hardware.clock import CycleClock
+
+from tests.compiler.test_interp import DictMemory
+
+CODE_BASE = KERNEL_CODE_START + 0x400000
+DATA_BASE = KERNEL_CODE_START + 0x500000
+STACK_TOP = KERNEL_CODE_START + 0x600000
+
+MEMORY_USER = """
+module m
+global @g 8
+func @poke(%p) {
+entry:
+  %v = load8 %p
+  store8 %v, @g
+  memcpy @g, %p, 8
+  ret %v
+}
+"""
+
+
+def _compile(source, passes, externs=None):
+    module = parse_module(source)
+    verify_module(module)
+    if passes:
+        PassManager(passes).run(module)
+    image = CodeGenerator(CODE_BASE, DATA_BASE).generate(module)
+    memory = DictMemory()
+    interp = Interpreter(image, memory, CycleClock(),
+                         externs=externs or {}, stack_top=STACK_TOP)
+    return module, image, interp, memory
+
+
+# -- sandbox pass ----------------------------------------------------------------
+
+def test_sandbox_inserts_vgmask_before_every_access():
+    module, *_ = _compile(MEMORY_USER, [SandboxPass()])
+    opcodes = [i.opcode for i in module.functions["poke"].instructions()]
+    # load, store, and two memcpy pointers => 4 masks
+    assert opcodes.count("vgmask") == 4
+    # every memory op's pointer operand is now a fresh masked register
+    for insn in module.functions["poke"].instructions():
+        if insn.opcode == "load8":
+            assert insn.operands[0].name.startswith("vg.mask")
+
+
+def test_sandbox_stats():
+    module = parse_module(MEMORY_USER)
+    stats = SandboxPass().run(module)
+    assert stats["masked_accesses"] == 4
+
+
+def test_sandboxed_load_of_ghost_address_is_redirected():
+    _, _, interp, memory = _compile(MEMORY_USER, [SandboxPass()])
+    secret_addr = GHOST_START + 0x1000
+    memory.store(secret_addr, 8, 0x5EC12E7)
+    result = interp.run("poke", [secret_addr])
+    assert result == 0            # read the (empty) dead zone instead
+    assert memory.load(mask_address(secret_addr), 8) == 0
+
+
+def test_unsandboxed_load_reads_ghost_directly():
+    _, _, interp, memory = _compile(MEMORY_USER, [])
+    secret_addr = GHOST_START + 0x1000
+    memory.store(secret_addr, 8, 0x5EC12E7)
+    assert interp.run("poke", [secret_addr]) == 0x5EC12E7
+
+
+def test_sandboxed_store_to_ghost_vanishes():
+    source = """
+module m
+func @smash(%p) {
+entry:
+  store8 666, %p
+  ret 0
+}
+"""
+    _, _, interp, memory = _compile(source, [SandboxPass()])
+    target = GHOST_START + 0x2000
+    memory.store(target, 8, 42)
+    interp.run("smash", [target])
+    assert memory.load(target, 8) == 42          # untouched
+
+
+def test_sandboxed_sva_address_becomes_null():
+    _, _, interp, memory = _compile(MEMORY_USER, [SandboxPass()])
+    memory.store(SVA_START + 64, 8, 0xABCD)
+    assert interp.run("poke", [SVA_START + 64]) == memory.load(0, 8)
+
+
+def test_sandbox_leaves_kernel_addresses_alone():
+    _, _, interp, memory = _compile(MEMORY_USER, [SandboxPass()])
+    addr = KERNEL_CODE_START + 0x9000
+    memory.store(addr, 8, 77)
+    assert interp.run("poke", [addr]) == 77
+
+
+def test_sandbox_charges_mask_cost():
+    _, _, interp, memory = _compile(MEMORY_USER, [SandboxPass()])
+    interp.run("poke", [KERNEL_CODE_START + 0x9000])
+    assert interp.clock.counters.get("mask_check", 0) == 4
+
+
+# -- CFI pass ----------------------------------------------------------------------
+
+CALLS = """
+module m
+func @leaf(%x) {
+entry:
+  %r = add %x, 1
+  ret %r
+}
+func @main(%x) {
+entry:
+  %a = call @leaf(%x)
+  %fp = mov @leaf
+  %b = callind %fp(%a)
+  ret %b
+}
+"""
+
+
+def test_cfi_labels_entries_and_return_sites():
+    module, *_ = _compile(CALLS, [CFIPass()])
+    main_ops = [i.opcode for i in module.functions["main"].instructions()]
+    # entry label + one after call + one after icall
+    assert main_ops.count("cfi_label") == 3
+    assert main_ops[0] == "cfi_label"
+    assert "cfi_icall" in main_ops and "callind" not in main_ops
+    leaf_ops = [i.opcode for i in module.functions["leaf"].instructions()]
+    assert "cfi_ret" in leaf_ops and "ret" not in leaf_ops
+
+
+def test_cfi_instrumented_code_runs_correctly():
+    _, _, interp, _ = _compile(CALLS, [CFIPass()])
+    assert interp.run("main", [5]) == 7
+    assert interp.clock.counters.get("cfi_check", 0) >= 3
+
+
+def test_cfi_icall_to_unlabeled_entry_rejected():
+    # compile leaf WITHOUT cfi, main WITH: icall target lacks a label
+    source = """
+module m
+func @main(%target) {
+entry:
+  %b = callind %target(1)
+  ret %b
+}
+"""
+    module = parse_module(source)
+    CFIPass().run(module)
+    plain = parse_module(CALLS)         # uninstrumented functions
+    image_plain = CodeGenerator(CODE_BASE + 0x10000,
+                                DATA_BASE).generate(plain)
+    image = CodeGenerator(CODE_BASE, DATA_BASE).generate(module)
+    # merge: pretend the unlabeled leaf lives in the same image space
+    image.functions["leaf"] = image_plain.functions["leaf"]
+    image._addr_index[image_plain.functions["leaf"].base] = \
+        image_plain.functions["leaf"]
+    interp = Interpreter(image, DictMemory(), CycleClock(), externs={},
+                         stack_top=STACK_TOP)
+    with pytest.raises(CFIViolation, match="labeled"):
+        interp.run("main", [image_plain.functions["leaf"].base])
+
+
+def test_cfi_icall_outside_kernel_space_rejected():
+    source = """
+module m
+func @main(%target) {
+entry:
+  %b = callind %target(1)
+  ret %b
+}
+"""
+    module = parse_module(source)
+    CFIPass().run(module)
+    image = CodeGenerator(CODE_BASE, DATA_BASE).generate(module)
+    interp = Interpreter(image, DictMemory(), CycleClock(), externs={},
+                         stack_top=STACK_TOP)
+    with pytest.raises(CFIViolation, match="outside kernel"):
+        interp.run("main", [0x40_0000])       # user-space address
+
+
+def test_cfi_detects_smashed_return_address():
+    """Overflow a stack buffer to overwrite the return slot: cfi_ret
+    catches the redirected return; uninstrumented ret follows it."""
+    source = """
+module m
+global @gadget_ran 8
+func @gadget() {
+entry:
+  store8 1, @gadget_ran
+  ret 0
+}
+func @vulnerable(%write_at, %value) {
+entry:
+  %buf = alloca 32
+  %slot = add %buf, %write_at
+  store8 %value, %slot
+  ret 7
+}
+func @main(%off, %val) {
+entry:
+  %r = call @vulnerable(%off, %val)
+  ret %r
+}
+"""
+    # Instrumented: the smashed return is detected.
+    module, image, interp, memory = _compile(source,
+                                             [SandboxPass(), CFIPass()])
+    gadget_addr = image.functions["gadget"].base
+    # the return slot sits just above the alloca'd buffer: alloca rounds
+    # to 16, so the slot is at buf+32 (ret_slot == frame sp before alloca)
+    with pytest.raises(CFIViolation):
+        interp.run("main", [32, gadget_addr + 1])   # mid-gadget: no label
+
+
+def test_pipelines_compose():
+    module = parse_module(MEMORY_USER)
+    stats = vg_kernel_pipeline().run(module)
+    assert stats["sandbox"]["masked_accesses"] == 4
+    assert stats["cfi"]["checked_rets"] == 1
+    opcodes = [i.opcode for i in module.functions["poke"].instructions()]
+    assert "vgmask" in opcodes and "cfi_ret" in opcodes
+
+
+# -- mmap-mask pass -------------------------------------------------------------------
+
+def test_mmap_mask_rewrites_result_register():
+    source = """
+module app
+extern @mmap/2
+func @use() {
+entry:
+  %p = call @mmap(0, 4096)
+  store8 1, %p
+  ret %p
+}
+"""
+    module = parse_module(source)
+    stats = MmapMaskPass().run(module)
+    assert stats["masked_returns"] == 1
+    ops = [i.opcode for i in module.functions["use"].instructions()]
+    call_idx = ops.index("call")
+    assert ops[call_idx + 1] == "vgmask"
+
+
+def test_mmap_mask_defeats_ghost_pointer():
+    source = """
+module app
+extern @mmap/2
+func @use() {
+entry:
+  %p = call @mmap(0, 4096)
+  ret %p
+}
+"""
+    module = parse_module(source)
+    vg_app_pipeline().run(module)
+    image = CodeGenerator(CODE_BASE, DATA_BASE).generate(module)
+    evil = GHOST_START + 0x5000
+    interp = Interpreter(image, DictMemory(), CycleClock(),
+                         externs={"mmap": lambda args: evil},
+                         stack_top=STACK_TOP)
+    result = interp.run("use", [])
+    assert result == mask_address(evil)
+    assert result != evil
+
+
+def test_mmap_mask_ignores_other_calls():
+    source = """
+module app
+extern @read/3
+func @use() {
+entry:
+  %r = call @read(0, 0, 0)
+  ret %r
+}
+"""
+    module = parse_module(source)
+    stats = MmapMaskPass().run(module)
+    assert stats["masked_returns"] == 0

@@ -1,0 +1,84 @@
+"""Shared fixtures and helper programs for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import VGConfig
+from repro.hardware.platform import Machine, MachineConfig
+from repro.kernel.proc import Program
+from repro.system import System
+from repro.userland.libc import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine(MachineConfig())
+
+
+@pytest.fixture
+def vg_system() -> System:
+    return System.create(VGConfig.virtual_ghost(), memory_mb=32,
+                         disk_mb=32)
+
+
+@pytest.fixture
+def native_system() -> System:
+    return System.create(VGConfig.native(), memory_mb=32, disk_mb=32)
+
+
+@pytest.fixture(params=["native", "virtual_ghost"])
+def any_system(request) -> System:
+    """Parametrized over both kernel configurations."""
+    config = (VGConfig.native() if request.param == "native"
+              else VGConfig.virtual_ghost())
+    return System.create(config, memory_mb=32, disk_mb=32)
+
+
+class ScriptProgram(Program):
+    """A program whose body is supplied as a generator function.
+
+    The function receives (env, program) and may stash results on the
+    program instance for the test to inspect.
+    """
+
+    program_id = "test-script"
+
+    def __init__(self, body, child_body=None):
+        self._body = body
+        self._child_body = child_body
+        self.result = None
+
+    def main(self, env):
+        return self._body(env, self)
+
+    def child_main(self, env):
+        if self._child_body is None:
+            return self.main(env)
+        return self._child_body(env, self)
+
+
+def run_script(system: System, body, *, argv=(), child_body=None,
+               path="/bin/script", app_key=None):
+    """Install + spawn + run a ScriptProgram; returns (status, program)."""
+    program = ScriptProgram(body, child_body)
+    system.install(path, program, app_key=app_key)
+    proc = system.spawn(path, argv=argv)
+    status = system.run_until_exit(proc)
+    return status, program
+
+
+def write_and_read_file(env, program, path: str = "/t.txt",
+                        payload: bytes = b"hello world"):
+    """Reusable script body: write a file, read it back, store result."""
+    heap = env.malloc_init(use_ghost=False)
+    buf = heap.store(payload)
+    fd = yield from env.sys_open(path, O_WRONLY | O_CREAT | O_TRUNC)
+    yield from env.sys_write(fd, buf, len(payload))
+    yield from env.sys_close(fd)
+    fd = yield from env.sys_open(path, O_RDONLY)
+    out = heap.malloc(len(payload))
+    got = yield from env.sys_read(fd, out, len(payload))
+    yield from env.sys_close(fd)
+    program.result = env.mem_read(out, got) if got > 0 else None
+    return 0

@@ -1,0 +1,210 @@
+"""Interrupt Contexts, key management, and secure swapping."""
+
+import pytest
+
+from repro.core.icontext import (ICRegistry, InterruptContext, TrapKind,
+                                 scrub_for_kernel)
+from repro.core.keymgmt import KeyManager, SignedExecutable
+from repro.core.swap import SwapService
+from repro.errors import SecurityViolation, SignatureError
+from repro.hardware.clock import CycleClock
+from repro.hardware.cpu import RegisterFile, SYSCALL_ARG_REGS
+from repro.hardware.memory import PAGE_SIZE
+from repro.hardware.tpm import TPM
+
+
+# -- Interrupt Context ------------------------------------------------------------
+
+def _ic(kind=TrapKind.SYSCALL, **regs):
+    rf = RegisterFile()
+    for name, value in regs.items():
+        rf.set(name, value)
+    return InterruptContext(regs=rf, kind=kind)
+
+
+def test_ic_serialization_roundtrip():
+    ic = _ic(rax=1, rbx=2, r15=0xFFFF, rip=0x400000)
+    raw = ic.serialize()
+    assert len(raw) == InterruptContext.SERIALIZED_SIZE
+    restored = InterruptContext.deserialize(raw, TrapKind.SYSCALL)
+    assert restored.regs.get("rbx") == 2
+    assert restored.regs.rip == 0x400000
+
+
+def test_ic_copy_is_deep():
+    ic = _ic(rax=1)
+    clone = ic.copy()
+    ic.regs.set("rax", 9)
+    assert clone.regs.get("rax") == 1
+
+
+def test_scrub_keeps_syscall_args_for_syscalls():
+    ic = _ic(kind=TrapKind.SYSCALL)
+    live = RegisterFile()
+    for name in SYSCALL_ARG_REGS:
+        live.set(name, 0x77)
+    live.set("rbx", 0x5EC)
+    scrub_for_kernel(ic, live)
+    assert live.get("rdi") == 0x77          # syscall arg survives
+    assert live.get("rbx") == 0             # secret scrubbed
+
+
+def test_scrub_clears_everything_for_interrupts():
+    ic = _ic(kind=TrapKind.INTERRUPT)
+    live = RegisterFile()
+    live.set("rdi", 0x77)
+    scrub_for_kernel(ic, live)
+    assert live.get("rdi") == 0
+
+
+def test_registry_current_lifecycle():
+    registry = ICRegistry()
+    assert not registry.has_current(1)
+    with pytest.raises(SecurityViolation):
+        registry.current(1)
+    registry.set_current(1, _ic(rax=5))
+    assert registry.current(1).regs.get("rax") == 5
+    registry.drop(1)
+    assert not registry.has_current(1)
+
+
+def test_registry_saved_stack_push_pop():
+    registry = ICRegistry()
+    registry.set_current(1, _ic(rax=1))
+    registry.push_saved(1)
+    registry.set_current(1, _ic(rax=2))
+    assert registry.saved_depth(1) == 1
+    registry.pop_saved(1)
+    assert registry.current(1).regs.get("rax") == 1
+    assert registry.saved_depth(1) == 0
+
+
+def test_sigreturn_without_save_rejected():
+    registry = ICRegistry()
+    registry.set_current(1, _ic())
+    with pytest.raises(SecurityViolation, match="no saved context"):
+        registry.pop_saved(1)
+
+
+def test_saved_stack_nests():
+    registry = ICRegistry()
+    for value in (1, 2, 3):
+        registry.set_current(1, _ic(rax=value))
+        registry.push_saved(1)
+    registry.set_current(1, _ic(rax=99))
+    registry.pop_saved(1)
+    assert registry.current(1).regs.get("rax") == 3
+    registry.pop_saved(1)
+    assert registry.current(1).regs.get("rax") == 2
+
+
+# -- key management ------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def keymanager():
+    clock = CycleClock()
+    return KeyManager.bootstrap(TPM(clock, serial=b"km-test"), clock)
+
+
+def test_bootstrap_then_unseal_same_key(keymanager):
+    clock = CycleClock()
+    tpm = TPM(clock, serial=b"km-test")
+    km1 = KeyManager.bootstrap(tpm, clock)
+    km2 = KeyManager.from_sealed(tpm, km1.sealed_blob, clock)
+    assert km1.public.n == km2.public.n
+
+
+def test_sealed_blob_is_opaque(keymanager):
+    n_bytes = keymanager.public.n.to_bytes(128, "big")
+    assert n_bytes not in keymanager.sealed_blob
+
+
+def test_install_and_validate(keymanager):
+    app_key = b"K" * 16
+    exe = keymanager.install_application("app", "app-v1", app_key)
+    assert keymanager.validate_executable(exe) == app_key
+
+
+def test_key_section_hides_app_key(keymanager):
+    app_key = b"K" * 16
+    exe = keymanager.install_application("app2", "app2-v1", app_key)
+    assert app_key not in exe.key_section
+    assert app_key not in exe.signature
+
+
+def test_tampered_program_id_rejected(keymanager):
+    exe = keymanager.install_application("app3", "app3-v1", b"K" * 16)
+    from repro.crypto.sha256 import sha256
+    tampered = SignedExecutable(
+        name=exe.name, program_id="evil",
+        code_digest=sha256(b"evil"),
+        key_section=exe.key_section, signature=exe.signature)
+    with pytest.raises(SecurityViolation, match="signature"):
+        keymanager.validate_executable(tampered)
+
+
+def test_tampered_key_section_rejected(keymanager):
+    exe = keymanager.install_application("app4", "app4-v1", b"K" * 16)
+    swapped = SignedExecutable(
+        name=exe.name, program_id=exe.program_id,
+        code_digest=exe.code_digest,
+        key_section=bytes(len(exe.key_section)),
+        signature=exe.signature)
+    with pytest.raises(SecurityViolation):
+        keymanager.validate_executable(swapped)
+
+
+def test_validation_cache_hits_are_cheap(keymanager):
+    exe = keymanager.install_application("app5", "app5-v1", b"K" * 16)
+    keymanager.validate_executable(exe)
+    rsa_before = keymanager.clock.counters.get("rsa_op", 0)
+    keymanager.validate_executable(exe)
+    assert keymanager.clock.counters.get("rsa_op", 0) == rsa_before
+
+
+def test_install_rejects_bad_key_length(keymanager):
+    with pytest.raises(ValueError):
+        keymanager.install_application("x", "x", b"short")
+
+
+# -- swapping ---------------------------------------------------------------------------
+
+@pytest.fixture
+def swap():
+    return SwapService(b"s" * 16, CycleClock())
+
+
+def test_swap_roundtrip(swap):
+    page = bytes(range(256)) * 16
+    blob = swap.protect_page(7, 0xFFFF_FF00_0000_1000, page)
+    assert page[:64] not in blob
+    assert swap.recover_page(7, 0xFFFF_FF00_0000_1000, blob) == page
+    assert swap.pages_out == swap.pages_in == 1
+
+
+def test_swap_detects_corruption(swap):
+    blob = bytearray(swap.protect_page(7, 0x1000, bytes(PAGE_SIZE)))
+    blob[100] ^= 1
+    with pytest.raises(SecurityViolation, match="corrupted"):
+        swap.recover_page(7, 0x1000, bytes(blob))
+
+
+def test_swap_binds_address(swap):
+    """Replay at a different vaddr (or pid) must fail."""
+    blob = swap.protect_page(7, 0x1000, bytes(PAGE_SIZE))
+    with pytest.raises(SecurityViolation):
+        swap.recover_page(7, 0x2000, blob)
+    with pytest.raises(SecurityViolation):
+        swap.recover_page(8, 0x1000, blob)
+
+
+def test_swap_requires_full_page(swap):
+    with pytest.raises(ValueError):
+        swap.protect_page(1, 0, b"tiny")
+
+
+def test_swap_nonces_unique(swap):
+    page = bytes(PAGE_SIZE)
+    blob_a = swap.protect_page(1, 0x1000, page)
+    blob_b = swap.protect_page(1, 0x1000, page)
+    assert blob_a != blob_b            # fresh nonce every time

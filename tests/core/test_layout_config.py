@@ -1,0 +1,115 @@
+"""Address-space layout, mask arithmetic, and configuration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import VGConfig
+from repro.core.layout import (DEAD_ZONE_END, DEAD_ZONE_START, GHOST_END,
+                               GHOST_START, KERNEL_END, KERNEL_START,
+                               MASK_BIT, Region, SVA_END, SVA_START,
+                               USER_END, USER_START, classify,
+                               is_page_aligned, mask_address, page_of)
+
+
+def test_partitions_are_disjoint_and_ordered():
+    assert USER_START < USER_END <= KERNEL_START
+    assert KERNEL_START < SVA_START < SVA_END < KERNEL_END
+    assert KERNEL_END == GHOST_START < GHOST_END == DEAD_ZONE_START
+    assert DEAD_ZONE_START < DEAD_ZONE_END
+
+
+def test_ghost_partition_is_512_gib():
+    assert GHOST_END - GHOST_START == 512 * 2 ** 30
+    assert MASK_BIT == GHOST_END - GHOST_START
+
+
+def test_paper_ghost_addresses():
+    # section 5: 0xffffff0000000000 - 0xffffff8000000000
+    assert GHOST_START == 0xFFFF_FF00_0000_0000
+    assert GHOST_END == 0xFFFF_FF80_0000_0000
+
+
+@pytest.mark.parametrize("addr, region", [
+    (0x40_0000, Region.USER),
+    (USER_END - 1, Region.USER),
+    (KERNEL_START, Region.KERNEL),
+    (SVA_START, Region.SVA),
+    (SVA_END, Region.KERNEL),
+    (GHOST_START, Region.GHOST),
+    (GHOST_END - 1, Region.GHOST),
+    (GHOST_END, Region.DEAD),
+    (0x100, Region.UNMAPPED),         # below USER_START
+])
+def test_classify(addr, region):
+    assert classify(addr) == region
+
+
+def test_mask_moves_ghost_to_dead_zone():
+    addr = GHOST_START + 0x1234
+    masked = mask_address(addr)
+    assert classify(masked) == Region.DEAD
+    assert masked == addr | MASK_BIT
+
+
+def test_mask_nullifies_sva_addresses():
+    assert mask_address(SVA_START) == 0
+    assert mask_address(SVA_END - 8) == 0
+    assert mask_address(SVA_END) == SVA_END      # just past: untouched
+
+
+def test_mask_is_identity_below_ghost():
+    for addr in (0x40_0000, KERNEL_START + 0x999, SVA_START - 8):
+        assert mask_address(addr) == addr
+
+
+def test_mask_matches_paper_arithmetic():
+    # "ORs it with 2^39 to ensure that the address will not access
+    # ghost memory" -- for any address >= the ghost base
+    addr = GHOST_START
+    assert mask_address(addr) == (addr | (1 << 39))
+
+
+@given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+@settings(max_examples=200, deadline=None)
+def test_mask_never_yields_ghost_or_sva(addr):
+    region = classify(mask_address(addr))
+    assert region not in (Region.GHOST, Region.SVA)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+@settings(max_examples=100, deadline=None)
+def test_mask_is_idempotent(addr):
+    assert mask_address(mask_address(addr)) == mask_address(addr)
+
+
+def test_page_helpers():
+    assert page_of(0x1234) == 0x1000
+    assert is_page_aligned(0x2000)
+    assert not is_page_aligned(0x2001)
+
+
+# -- config ----------------------------------------------------------------------
+
+def test_native_config_disables_everything():
+    config = VGConfig.native()
+    assert not config.any_protection
+
+
+def test_virtual_ghost_enables_everything():
+    config = VGConfig.virtual_ghost()
+    assert config.sandboxing and config.cfi and config.mmu_checks
+    assert config.secure_ic and config.ghost_memory
+    assert config.signed_translations and config.verify_app_signatures
+    assert config.dma_protection
+
+
+def test_with_creates_modified_copy():
+    config = VGConfig.virtual_ghost().with_(cfi=False)
+    assert not config.cfi and config.sandboxing
+    assert VGConfig.virtual_ghost().cfi       # original untouched
+
+
+def test_config_is_frozen():
+    with pytest.raises(Exception):
+        VGConfig.virtual_ghost().cfi = False

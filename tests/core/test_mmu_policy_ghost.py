@@ -1,0 +1,152 @@
+"""MMU update policy and the ghost-partition bookkeeping."""
+
+import pytest
+
+from repro.core.ghost import GhostManager
+from repro.core.layout import GHOST_START, KERNEL_HEAP_START, SVA_START
+from repro.core.mmu_policy import FrameKind, MMUPolicy
+from repro.errors import SecurityViolation
+from repro.hardware.memory import PAGE_SIZE
+
+
+@pytest.fixture
+def policy():
+    return MMUPolicy()
+
+
+def test_reverse_map_tracks_mappings(policy):
+    policy.record_mapping(0x1000, 0x40_0000, 7)
+    assert not policy.is_unmapped_everywhere(7)
+    assert policy.frame_at(0x1000, 0x40_0000) == 7
+    policy.record_unmapping(0x1000, 0x40_0000, 7)
+    assert policy.is_unmapped_everywhere(7)
+    assert policy.frame_at(0x1000, 0x40_0000) is None
+
+
+def test_frame_classification(policy):
+    assert policy.frame_kind(9) == FrameKind.ORDINARY
+    policy.classify_frame(9, FrameKind.GHOST)
+    assert policy.frame_kind(9) == FrameKind.GHOST
+    policy.declassify_frame(9)
+    assert policy.frame_kind(9) == FrameKind.ORDINARY
+
+
+def test_os_cannot_map_ghost_frame(policy):
+    policy.classify_frame(5, FrameKind.GHOST)
+    with pytest.raises(SecurityViolation, match="ghost frame"):
+        policy.check_map(0x1000, KERNEL_HEAP_START, 5, writable=False,
+                         from_os=True)
+    assert policy.denied_updates == 1
+
+
+def test_os_cannot_map_sva_frame(policy):
+    policy.classify_frame(5, FrameKind.SVA)
+    with pytest.raises(SecurityViolation, match="SVA frame"):
+        policy.check_map(0x1000, 0x40_0000, 5, writable=True,
+                         from_os=True)
+
+
+def test_os_cannot_touch_ghost_partition_vaddr(policy):
+    with pytest.raises(SecurityViolation, match="ghost partition"):
+        policy.check_map(0x1000, GHOST_START + PAGE_SIZE, 6,
+                         writable=True, from_os=True)
+    with pytest.raises(SecurityViolation):
+        policy.check_unmap(0x1000, GHOST_START, from_os=True)
+    with pytest.raises(SecurityViolation):
+        policy.check_protect(0x1000, GHOST_START, 6, writable=True,
+                             from_os=True)
+
+
+def test_os_cannot_touch_sva_partition_vaddr(policy):
+    with pytest.raises(SecurityViolation, match="sva partition"):
+        policy.check_map(0x1000, SVA_START, 6, writable=True, from_os=True)
+
+
+def test_os_cannot_remap_code_frame(policy):
+    policy.classify_frame(4, FrameKind.CODE)
+    with pytest.raises(SecurityViolation, match="code frame"):
+        policy.check_map(0x1000, 0x40_0000, 4, writable=False,
+                         from_os=True)
+
+
+def test_os_cannot_make_code_page_writable(policy):
+    policy.classify_frame(4, FrameKind.CODE)
+    with pytest.raises(SecurityViolation, match="writable"):
+        policy.check_protect(0x1000, 0x40_0000, 4, writable=True,
+                             from_os=True)
+    # read-only re-protection is fine
+    policy.check_protect(0x1000, 0x40_0000, 4, writable=False,
+                         from_os=True)
+
+
+def test_os_cannot_shadow_code_page(policy):
+    policy.classify_frame(4, FrameKind.CODE)
+    policy.record_mapping(0x1000, 0x40_0000, 4)
+    with pytest.raises(SecurityViolation, match="shadow"):
+        policy.check_map(0x1000, 0x40_0000, 8, writable=False,
+                         from_os=True)
+
+
+def test_os_cannot_map_page_table_writable(policy):
+    policy.classify_frame(3, FrameKind.PAGE_TABLE)
+    with pytest.raises(SecurityViolation, match="page-table"):
+        policy.check_map(0x1000, 0x40_0000, 3, writable=True,
+                         from_os=True)
+
+
+def test_vm_internal_updates_bypass_policy(policy):
+    policy.classify_frame(5, FrameKind.GHOST)
+    # from_os=False is the VM itself (allocgm, swap): no checks
+    policy.check_map(0x1000, GHOST_START, 5, writable=True, from_os=False)
+    policy.check_unmap(0x1000, GHOST_START, from_os=False)
+
+
+def test_ordinary_os_mapping_allowed(policy):
+    policy.check_map(0x1000, 0x40_0000, 10, writable=True, from_os=True)
+    policy.check_unmap(0x1000, 0x40_0000, from_os=True)
+
+
+# -- ghost manager ------------------------------------------------------------------
+
+def test_partition_per_pid():
+    manager = GhostManager()
+    a = manager.partition(1)
+    b = manager.partition(2)
+    assert a is not b
+    assert manager.partition(1) is a
+    assert manager.has_partition(1)
+
+
+def test_validate_range_accepts_ghost_range():
+    manager = GhostManager()
+    manager.validate_range(GHOST_START + PAGE_SIZE, 4)
+
+
+@pytest.mark.parametrize("vaddr, pages, fragment", [
+    (GHOST_START + 1, 1, "unaligned"),
+    (GHOST_START, 0, "non-positive"),
+    (0x40_0000, 1, "outside"),
+    (GHOST_START - PAGE_SIZE, 1, "outside"),
+])
+def test_validate_range_rejections(vaddr, pages, fragment):
+    manager = GhostManager()
+    with pytest.raises(SecurityViolation, match=fragment):
+        manager.validate_range(vaddr, pages)
+
+
+def test_frame_lookup_and_ownership():
+    manager = GhostManager()
+    part = manager.partition(1)
+    part.pages[GHOST_START] = 42
+    assert manager.frame_for(1, GHOST_START + 100) == 42
+    assert manager.owns_page(1, GHOST_START + 100)
+    assert not manager.owns_page(2, GHOST_START)
+    assert manager.all_frames(1) == [42]
+    assert part.resident_bytes == PAGE_SIZE
+
+
+def test_drop_partition():
+    manager = GhostManager()
+    manager.partition(1)
+    assert manager.drop_partition(1) is not None
+    assert manager.drop_partition(1) is None

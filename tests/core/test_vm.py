@@ -1,0 +1,287 @@
+"""SVA VM integration: MMU ops, ghost services, IC ops, translations."""
+
+import pytest
+
+from repro.core.config import VGConfig
+from repro.core.icontext import TrapKind
+from repro.core.layout import GHOST_START, KERNEL_HEAP_START
+from repro.errors import SecurityViolation, SignatureError
+from repro.hardware.cpu import RegisterFile
+from repro.hardware.iommu import IOMMU_PORT_BASE
+from repro.hardware.memory import PAGE_SIZE
+from repro.system import System
+
+
+@pytest.fixture
+def vg():
+    return System.create(VGConfig.virtual_ghost(), memory_mb=32)
+
+
+@pytest.fixture
+def native():
+    return System.create(VGConfig.native(), memory_mb=32)
+
+
+# -- translation service ------------------------------------------------------------
+
+SIMPLE_MODULE = """
+module simple
+func @f(%x) {
+entry:
+  %r = add %x, 1
+  ret %r
+}
+"""
+
+
+def test_vg_translations_are_instrumented_and_signed(vg):
+    image = vg.kernel.vm.translate_module(SIMPLE_MODULE)
+    assert image.signature is not None
+    opcodes = [i.opcode for i in image.functions["f"].insns]
+    assert "cfi_label" in opcodes and "cfi_ret" in opcodes
+
+
+def test_native_translations_are_plain(native):
+    image = native.kernel.vm.translate_module(SIMPLE_MODULE)
+    assert image.signature is None
+    opcodes = [i.opcode for i in image.functions["f"].insns]
+    assert "cfi_label" not in opcodes and "ret" in opcodes
+
+
+def test_vm_refuses_tampered_translation(vg):
+    from repro.compiler.ir import Imm
+    image = vg.kernel.vm.translate_module(SIMPLE_MODULE)
+    for insn in image.functions["f"].insns:
+        if insn.opcode == "add":
+            insn.operands[1] = Imm(999)
+    with pytest.raises(SignatureError):
+        vg.kernel.vm.make_interpreter(image, vg.kernel.ctx.port,
+                                      externs={}, stack_top=0)
+
+
+def test_distinct_modules_get_distinct_code_ranges(vg):
+    a = vg.kernel.vm.translate_module(SIMPLE_MODULE)
+    b = vg.kernel.vm.translate_module(SIMPLE_MODULE.replace("simple",
+                                                            "other"))
+    assert a.functions["f"].end <= b.functions["f"].base
+
+
+# -- MMU operations -------------------------------------------------------------------
+
+def test_mmu_map_denied_for_ghost_frame(vg):
+    kernel = vg.kernel
+    frame = kernel.vmm.frames.alloc()
+    kernel.vm.policy.classify_frame(frame, __import__(
+        "repro.core.mmu_policy", fromlist=["FrameKind"]).FrameKind.GHOST)
+    with pytest.raises(SecurityViolation):
+        kernel.vm.mmu_map_page(kernel.kernel_root,
+                               KERNEL_HEAP_START + 0x10_0000, frame,
+                               writable=False, user=False)
+
+
+def test_mmu_map_allowed_on_native(native):
+    kernel = native.kernel
+    frame = kernel.vmm.frames.alloc()
+    kernel.vm.mmu_map_page(kernel.kernel_root,
+                           KERNEL_HEAP_START + 0x10_0000, frame,
+                           writable=True, user=False)
+    assert kernel.vm.policy.frame_at(
+        kernel.kernel_root, KERNEL_HEAP_START + 0x10_0000) == frame
+
+
+def test_mmu_check_cost_charged_only_under_vg(vg, native):
+    for system, expect in ((vg, True), (native, False)):
+        kernel = system.kernel
+        before = system.machine.clock.counters.get("mmu_check", 0)
+        frame = kernel.vmm.frames.alloc()
+        kernel.vm.mmu_map_page(kernel.kernel_root,
+                               KERNEL_HEAP_START + 0x20_0000, frame,
+                               writable=True, user=False)
+        after = system.machine.clock.counters.get("mmu_check", 0)
+        assert (after > before) == expect
+
+
+def test_new_root_shares_kernel_half_but_not_ghost(vg):
+    kernel = vg.kernel
+    root = kernel.vm.mmu_new_root()
+    from repro.hardware.mmu import vpn_indices
+    kernel_idx = vpn_indices(KERNEL_HEAP_START)[0]
+    ghost_idx = vpn_indices(GHOST_START)[0]
+    shared = kernel.machine.phys.read_word(root + kernel_idx * 8)
+    original = kernel.machine.phys.read_word(
+        kernel.kernel_root + kernel_idx * 8)
+    assert shared == original != 0
+    assert kernel.machine.phys.read_word(root + ghost_idx * 8) == 0
+
+
+# -- ghost services ------------------------------------------------------------------------
+
+def _make_process(system):
+    from tests.conftest import ScriptProgram
+
+    def body(env, program):
+        program.env = env
+        yield from env.sys_sched_yield()
+        yield from env.syscall("exit", 0)
+
+    program = ScriptProgram(body)
+    system.install("/bin/p", program)
+    proc = system.spawn("/bin/p")
+    system.kernel.scheduler.run(until=lambda: hasattr(program, "env"))
+    return proc, program.env
+
+
+def test_allocgm_maps_zeroed_user_accessible_pages(vg):
+    proc, env = _make_process(vg)
+    addr = env.allocgm(2)
+    assert GHOST_START <= addr
+    assert env.mem_read(addr, PAGE_SIZE) == bytes(PAGE_SIZE)
+    env.mem_write(addr, b"ghost data")
+    assert env.mem_read(addr, 10) == b"ghost data"
+
+
+def test_allocgm_frames_are_dma_denied(vg):
+    proc, env = _make_process(vg)
+    addr = env.allocgm(1)
+    frame = vg.kernel.vm.ghosts.frame_for(proc.pid, addr)
+    assert vg.machine.iommu.is_denied(frame)
+
+
+def test_freegm_zeroes_and_returns_frames(vg):
+    proc, env = _make_process(vg)
+    addr = env.allocgm(1)
+    env.mem_write(addr, b"secret")
+    frame = vg.kernel.vm.ghosts.frame_for(proc.pid, addr)
+    available_before = vg.kernel.vmm.frames.available
+    env.freegm(addr, 1)
+    assert vg.kernel.vmm.frames.available == available_before + 1
+    assert vg.machine.phys.read(frame * PAGE_SIZE, 6) == bytes(6)
+    assert not vg.machine.iommu.is_denied(frame)
+
+
+def test_freegm_of_unallocated_rejected(vg):
+    proc, env = _make_process(vg)
+    with pytest.raises(SecurityViolation, match="not allocated"):
+        env.freegm(GHOST_START + 0x10_0000, 1)
+
+
+def test_double_allocgm_same_address_rejected(vg):
+    proc, env = _make_process(vg)
+    addr = env.allocgm(1)
+    with pytest.raises(SecurityViolation, match="already"):
+        env.allocgm_at(addr, 1)
+
+
+def test_allocgm_disabled_on_native(native):
+    proc, env = _make_process(native)
+    with pytest.raises(SecurityViolation, match="disabled"):
+        env.allocgm(1)
+
+
+def test_ghost_swap_roundtrip(vg):
+    proc, env = _make_process(vg)
+    addr = env.allocgm(1)
+    env.mem_write(addr, b"swap me out")
+    kernel = vg.kernel
+    blob = kernel.vm.swap_out_ghost(proc.pid, proc.aspace.root, addr)
+    assert b"swap me out" not in blob
+    # page gone while swapped
+    assert kernel.vm.ghosts.frame_for(proc.pid, addr) is None
+    kernel.vm.swap_in_ghost(proc.pid, proc.aspace.root, addr, blob)
+    assert env.mem_read(addr, 11) == b"swap me out"
+
+
+def test_ghost_swap_in_rejects_substituted_blob(vg):
+    proc, env = _make_process(vg)
+    addr_a = env.allocgm(1)
+    addr_b = env.allocgm(1)
+    kernel = vg.kernel
+    blob_a = kernel.vm.swap_out_ghost(proc.pid, proc.aspace.root, addr_a)
+    kernel.vm.swap_out_ghost(proc.pid, proc.aspace.root, addr_b)
+    with pytest.raises(SecurityViolation):
+        kernel.vm.swap_in_ghost(proc.pid, proc.aspace.root, addr_b,
+                                blob_a)
+
+
+def test_sva_random_nonconstant(vg):
+    a = vg.kernel.vm.sva_random(32)
+    b = vg.kernel.vm.sva_random(32)
+    assert a != b and len(a) == 32
+
+
+def test_get_app_key_requires_validated_program(vg):
+    with pytest.raises(SecurityViolation):
+        vg.kernel.vm.get_app_key(9999)
+
+
+# -- IC operations ----------------------------------------------------------------------------
+
+def test_trap_scrubs_registers_under_vg(vg):
+    vm = vg.kernel.vm
+    vm.register_thread(500, 500)
+    regs = RegisterFile()
+    regs.set("rbx", 0x5EC2E7)
+    regs.set("rdi", 0x1)
+    vm.trap_enter(500, TrapKind.SYSCALL, regs)
+    assert regs.get("rbx") == 0            # scrubbed
+    assert regs.get("rdi") == 0x1          # syscall arg kept
+    assert vm.ics.current(500).regs.get("rbx") == 0x5EC2E7
+
+
+def test_trap_does_not_scrub_on_native(native):
+    vm = native.kernel.vm
+    vm.register_thread(500, 500)
+    regs = RegisterFile()
+    regs.set("rbx", 0x5EC2E7)
+    vm.trap_enter(500, TrapKind.SYSCALL, regs)
+    assert regs.get("rbx") == 0x5EC2E7
+
+
+def test_ipush_requires_permit_under_vg(vg):
+    vm = vg.kernel.vm
+    vm.register_thread(501, 77)
+    vm.trap_enter(501, TrapKind.SYSCALL, RegisterFile())
+    with pytest.raises(SecurityViolation, match="permitFunction"):
+        vm.ipush_function(501, 0x1234, (10,))
+    vm.permit_function(77, 0x1234)
+    vm.ipush_function(501, 0x1234, (10,))
+    assert vm.ics.current(501).pushed_handler == (0x1234, (10,))
+
+
+def test_ipush_unchecked_on_native(native):
+    vm = native.kernel.vm
+    vm.register_thread(501, 77)
+    vm.trap_enter(501, TrapKind.SYSCALL, RegisterFile())
+    vm.ipush_function(501, 0xEEEE, ())       # no registration needed
+    assert vm.ics.current(501).pushed_handler == (0xEEEE, ())
+
+
+def test_newstate_requires_kernel_entry_under_vg(vg):
+    vm = vg.kernel.vm
+    vm.register_thread(502, 88)
+    vm.trap_enter(502, TrapKind.SYSCALL, RegisterFile())
+    with pytest.raises(SecurityViolation, match="kernel function"):
+        vm.newstate(502, 503, 88, 0xBAD)
+    vm.newstate(502, 503, 88, vg.kernel.thread_start_entry)
+    assert vm.ics.has_current(503)
+
+
+def test_reinit_icontext_checks_entry_under_vg(vg):
+    vm = vg.kernel.vm
+    vm.register_thread(504, 99)
+    vm.trap_enter(504, TrapKind.SYSCALL, RegisterFile())
+    with pytest.raises(SecurityViolation, match="validated program"):
+        vm.reinit_icontext(504, 99, 0xF00D, 0x7000)
+
+
+# -- checked port I/O ---------------------------------------------------------------------------
+
+def test_io_write_to_iommu_refused_under_vg(vg):
+    with pytest.raises(SecurityViolation, match="IOMMU"):
+        vg.kernel.vm.io_write(IOMMU_PORT_BASE, 1)
+
+
+def test_io_write_to_iommu_allowed_on_native(native):
+    native.kernel.vm.io_write(IOMMU_PORT_BASE + 1, 3)
+    native.kernel.vm.io_write(IOMMU_PORT_BASE, 2)      # deny frame 3
+    assert native.machine.iommu.is_denied(3)

@@ -1,0 +1,143 @@
+"""RSA and the authenticated-encryption / signature envelopes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.crypto.signing import (authenticated_decrypt,
+                                  authenticated_encrypt, checksum,
+                                  derive_subkeys, sign_blob, verify_blob)
+from repro.errors import SignatureError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return RSAKeyPair.generate(512, seed=b"test-keypair")
+
+
+def test_keygen_is_deterministic_from_seed():
+    a = RSAKeyPair.generate(512, seed=b"same")
+    b = RSAKeyPair.generate(512, seed=b"same")
+    assert a.public.n == b.public.n
+
+
+def test_keygen_differs_by_seed():
+    a = RSAKeyPair.generate(512, seed=b"one")
+    b = RSAKeyPair.generate(512, seed=b"two")
+    assert a.public.n != b.public.n
+
+
+def test_encrypt_decrypt_roundtrip(keypair):
+    message = b"wrap this key \x00\x01\x02"
+    ciphertext = keypair.public.encrypt(message)
+    assert message not in ciphertext
+    assert keypair.decrypt(ciphertext) == message
+
+
+def test_encrypt_rejects_oversized_message(keypair):
+    with pytest.raises(ValueError):
+        keypair.public.encrypt(b"x" * 60)
+
+
+def test_decrypt_rejects_garbage(keypair):
+    with pytest.raises(ValueError):
+        keypair.decrypt(bytes(keypair.public.byte_length))
+
+
+def test_sign_verify(keypair):
+    message = b"signed payload"
+    signature = keypair.sign(message)
+    assert keypair.public.verify(message, signature)
+    assert not keypair.public.verify(message + b"!", signature)
+    assert not keypair.public.verify(message, signature[:-1] + b"\x00")
+
+
+def test_verify_rejects_wrong_length_signature(keypair):
+    assert not keypair.public.verify(b"m", b"short")
+
+
+def test_signature_key_specific(keypair):
+    other = RSAKeyPair.generate(512, seed=b"other")
+    signature = keypair.sign(b"msg")
+    assert not other.public.verify(b"msg", signature)
+
+
+def test_fingerprint_stable_and_distinct(keypair):
+    other = RSAKeyPair.generate(512, seed=b"other-fp")
+    assert keypair.public.fingerprint() == keypair.public.fingerprint()
+    assert keypair.public.fingerprint() != other.public.fingerprint()
+
+
+@given(st.binary(min_size=1, max_size=40))
+@settings(max_examples=15, deadline=None)
+def test_rsa_roundtrip_random(message):
+    keypair = RSAKeyPair.generate(512, seed=b"hyp")
+    assert keypair.decrypt(keypair.public.encrypt(message)) == message
+
+
+# -- envelopes -----------------------------------------------------------------
+
+def test_authenticated_roundtrip():
+    blob = authenticated_encrypt(b"k" * 16, b"payload", bytes(16))
+    assert authenticated_decrypt(b"k" * 16, blob) == b"payload"
+
+
+def test_authenticated_hides_plaintext():
+    blob = authenticated_encrypt(b"k" * 16, b"super secret", bytes(16))
+    assert b"super secret" not in blob
+
+
+@pytest.mark.parametrize("position", [0, 16, 30, -1])
+def test_authenticated_detects_any_flip(position):
+    blob = bytearray(authenticated_encrypt(b"k" * 16, b"payload",
+                                           bytes(16)))
+    blob[position] ^= 0x01
+    with pytest.raises(SignatureError):
+        authenticated_decrypt(b"k" * 16, bytes(blob))
+
+
+def test_authenticated_binds_aad():
+    blob = authenticated_encrypt(b"k" * 16, b"payload", bytes(16),
+                                 aad=b"/file/a")
+    with pytest.raises(SignatureError):
+        authenticated_decrypt(b"k" * 16, blob, aad=b"/file/b")
+    assert authenticated_decrypt(b"k" * 16, blob,
+                                 aad=b"/file/a") == b"payload"
+
+
+def test_authenticated_wrong_key_rejected():
+    blob = authenticated_encrypt(b"k" * 16, b"payload", bytes(16))
+    with pytest.raises(SignatureError):
+        authenticated_decrypt(b"j" * 16, blob)
+
+
+def test_authenticated_truncated_blob_rejected():
+    with pytest.raises(SignatureError):
+        authenticated_decrypt(b"k" * 16, b"short")
+
+
+def test_derive_subkeys_independent():
+    enc, mac = derive_subkeys(b"master")
+    assert enc != mac[:16]
+    assert len(enc) == 16 and len(mac) == 32
+
+
+def test_sign_verify_blob_helpers():
+    keypair = RSAKeyPair.generate(512, seed=b"blob")
+    signature = sign_blob(keypair, b"data")
+    verify_blob(keypair.public, b"data", signature)
+    with pytest.raises(SignatureError):
+        verify_blob(keypair.public, b"tampered", signature)
+
+
+def test_checksum_is_sha256():
+    import hashlib
+    assert checksum(b"x") == hashlib.sha256(b"x").digest()
+
+
+@given(st.binary(max_size=300), st.binary(min_size=16, max_size=16))
+@settings(max_examples=30, deadline=None)
+def test_authenticated_roundtrip_random(payload, nonce):
+    blob = authenticated_encrypt(b"K" * 16, payload, nonce)
+    assert authenticated_decrypt(b"K" * 16, blob) == payload

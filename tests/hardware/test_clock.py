@@ -1,0 +1,87 @@
+"""Cycle clock and cost model."""
+
+import pytest
+
+from repro.hardware.clock import (CostModel, CycleClock, cycles_to_seconds,
+                                  cycles_to_us, CYCLES_PER_US)
+
+
+def test_charge_advances_time():
+    clock = CycleClock()
+    before = clock.cycles
+    charged = clock.charge("instr", 10)
+    assert charged == 10 * clock.costs.instr
+    assert clock.cycles == before + charged
+
+
+def test_charge_counts_events():
+    clock = CycleClock()
+    clock.charge("mem_access", 3)
+    clock.charge("mem_access")
+    assert clock.counters["mem_access"] == 4
+    assert clock.cycles_by_kind["mem_access"] == 4 * clock.costs.mem_access
+
+
+def test_unknown_category_rejected():
+    clock = CycleClock()
+    with pytest.raises(ValueError):
+        clock.charge("warp_drive")
+
+
+def test_negative_units_rejected():
+    clock = CycleClock()
+    with pytest.raises(ValueError):
+        clock.charge("instr", -1)
+
+
+def test_charge_cycles_raw():
+    clock = CycleClock()
+    clock.charge_cycles("custom", 123)
+    assert clock.cycles == 123
+    assert clock.counters["custom"] == 1
+
+
+def test_micros_conversion():
+    clock = CycleClock()
+    clock.charge_cycles("x", int(CYCLES_PER_US * 5))
+    assert clock.micros == pytest.approx(5.0)
+
+
+def test_cycles_to_seconds():
+    assert cycles_to_seconds(3_400_000_000) == pytest.approx(1.0)
+    assert cycles_to_us(3400) == pytest.approx(1.0)
+
+
+def test_snapshot_is_a_copy():
+    clock = CycleClock()
+    clock.charge("instr")
+    snap = clock.snapshot()
+    clock.charge("instr")
+    assert snap["instr"] == 1
+    assert clock.counters["instr"] == 2
+
+
+def test_reset():
+    clock = CycleClock()
+    clock.charge("instr", 5)
+    clock.reset()
+    assert clock.cycles == 0
+    assert not clock.counters
+
+
+def test_cost_model_validation_rejects_zero():
+    with pytest.raises(ValueError):
+        CostModel(instr=0).validate()
+
+
+def test_cost_model_validation_rejects_negative():
+    with pytest.raises(ValueError):
+        CostModel(mem_access=-3).validate()
+
+
+def test_elapsed_since():
+    clock = CycleClock()
+    clock.charge("instr", 7)
+    mark = clock.cycles
+    clock.charge("instr", 5)
+    assert clock.elapsed_since(mark) == 5

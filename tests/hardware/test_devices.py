@@ -1,0 +1,291 @@
+"""Disk, NIC, IOMMU+DMA, TPM, ports, interrupts, console, CPU."""
+
+import pytest
+
+from repro.errors import HardwareError, IOMMUFault, SignatureError
+from repro.hardware.clock import CycleClock
+from repro.hardware.cpu import CPU, GPR_NAMES, RegisterFile
+from repro.hardware.devices import Console
+from repro.hardware.disk import Disk, SECTOR_SIZE
+from repro.hardware.dma import DMAEngine
+from repro.hardware.interrupts import InterruptController
+from repro.hardware.iommu import CMD_ALLOW, CMD_DENY, IOMMU, IOMMU_PORT_BASE
+from repro.hardware.ioports import IOPortSpace
+from repro.hardware.memory import PAGE_SIZE, PhysicalMemory
+from repro.hardware.nic import MTU, NIC
+from repro.hardware.platform import Machine, MachineConfig
+from repro.hardware.tpm import TPM
+
+
+# -- disk ---------------------------------------------------------------------
+
+def test_disk_unwritten_sectors_read_zero():
+    disk = Disk(16, CycleClock())
+    assert disk.read_sectors(3, 2) == bytes(2 * SECTOR_SIZE)
+
+
+def test_disk_write_read_roundtrip():
+    disk = Disk(16, CycleClock())
+    payload = bytes(range(256)) * 2
+    disk.write_sectors(5, payload)
+    assert disk.read_sectors(5, 1) == payload
+
+
+def test_disk_charges_seek_and_transfer():
+    clock = CycleClock()
+    disk = Disk(16, clock)
+    disk.read_sectors(0, 4)
+    assert clock.counters["disk_seek"] == 1
+    assert clock.counters["disk_per_sector"] == 4
+
+
+def test_disk_rejects_unaligned_write():
+    disk = Disk(16, CycleClock())
+    with pytest.raises(HardwareError):
+        disk.write_sectors(0, b"short")
+
+
+def test_disk_rejects_out_of_range():
+    disk = Disk(16, CycleClock())
+    with pytest.raises(HardwareError):
+        disk.read_sectors(15, 2)
+
+
+# -- DMA + IOMMU --------------------------------------------------------------
+
+@pytest.fixture
+def dma_setup():
+    clock = CycleClock()
+    phys = PhysicalMemory(16)
+    iommu = IOMMU(clock)
+    dma = DMAEngine(phys, iommu, clock)
+    return phys, iommu, dma
+
+
+def test_dma_copies_memory(dma_setup):
+    phys, iommu, dma = dma_setup
+    phys.write(100, b"dma data")
+    assert dma.read_memory(100, 8) == b"dma data"
+    dma.write_memory(200, b"written")
+    assert phys.read(200, 7) == b"written"
+
+
+def test_iommu_denied_frame_blocks_dma(dma_setup):
+    phys, iommu, dma = dma_setup
+    iommu.deny_frame(2)
+    with pytest.raises(IOMMUFault):
+        dma.read_memory(2 * PAGE_SIZE, 8)
+    with pytest.raises(IOMMUFault):
+        dma.write_memory(2 * PAGE_SIZE + 100, b"x")
+
+
+def test_iommu_blocks_transfer_overlapping_denied_frame(dma_setup):
+    phys, iommu, dma = dma_setup
+    iommu.deny_frame(3)
+    # transfer starting in frame 2 reaching into frame 3
+    with pytest.raises(IOMMUFault):
+        dma.read_memory(3 * PAGE_SIZE - 16, 32)
+
+
+def test_iommu_allow_reenables(dma_setup):
+    phys, iommu, dma = dma_setup
+    iommu.deny_frame(2)
+    iommu.allow_frame(2)
+    dma.read_memory(2 * PAGE_SIZE, 8)
+
+
+def test_iommu_port_interface():
+    clock = CycleClock()
+    ports = IOPortSpace(clock)
+    iommu = IOMMU(clock)
+    iommu.attach_ports(ports)
+    ports.write(IOMMU_PORT_BASE + 1, 7)       # operand
+    ports.write(IOMMU_PORT_BASE, CMD_DENY)    # command
+    assert iommu.is_denied(7)
+    ports.write(IOMMU_PORT_BASE, CMD_ALLOW)
+    assert not iommu.is_denied(7)
+
+
+def test_disk_dma_path():
+    machine = Machine(MachineConfig())
+    machine.phys.write(5 * PAGE_SIZE, b"A" * SECTOR_SIZE)
+    machine.disk.dma_write_from(machine.dma, 5 * PAGE_SIZE, 10, 1)
+    assert machine.disk.read_sectors(10, 1) == b"A" * SECTOR_SIZE
+    machine.disk.dma_read_into(machine.dma, 6 * PAGE_SIZE, 10, 1)
+    assert machine.phys.read(6 * PAGE_SIZE, SECTOR_SIZE) \
+        == b"A" * SECTOR_SIZE
+
+
+# -- I/O ports ------------------------------------------------------------------
+
+def test_port_registration_and_access():
+    clock = CycleClock()
+    ports = IOPortSpace(clock)
+    state = {}
+    ports.register(0x10, 2, lambda p: state.get(p, 0),
+                   lambda p, v: state.__setitem__(p, v), "dev")
+    ports.write(0x10, 42)
+    assert ports.read(0x10) == 42
+    assert ports.owner(0x10) == "dev"
+    assert ports.owner(0x99) is None
+
+
+def test_overlapping_port_ranges_rejected():
+    ports = IOPortSpace(CycleClock())
+    ports.register(0x10, 4, lambda p: 0, lambda p, v: None, "a")
+    with pytest.raises(HardwareError):
+        ports.register(0x12, 4, lambda p: 0, lambda p, v: None, "b")
+
+
+def test_unassigned_port_access_rejected():
+    ports = IOPortSpace(CycleClock())
+    with pytest.raises(HardwareError):
+        ports.read(0x50)
+
+
+# -- NIC --------------------------------------------------------------------------
+
+def test_nic_send_requires_peer():
+    nic = NIC(CycleClock())
+    with pytest.raises(RuntimeError):
+        nic.send(b"data")
+
+
+def test_nic_delivers_to_peer():
+    clock = CycleClock()
+    nic = NIC(clock)
+    received = []
+    nic.attach_peer(type("Peer", (), {
+        "deliver": staticmethod(received.append)})())
+    nic.send(b"payload")
+    assert received == [b"payload"]
+    assert nic.tx_bytes == 7
+
+
+def test_nic_charges_per_packet_segmentation():
+    clock = CycleClock()
+    nic = NIC(clock)
+    nic.attach_peer(type("Peer", (), {
+        "deliver": staticmethod(lambda p: None)})())
+    nic.send(b"x" * (MTU * 2 + 1))
+    assert clock.counters["nic_per_packet"] == 3
+    assert clock.counters["nic_per_byte"] == MTU * 2 + 1
+
+
+def test_nic_receive_queue():
+    nic = NIC(CycleClock())
+    nic.deliver(b"one")
+    nic.deliver(b"two")
+    assert nic.has_rx
+    assert nic.receive() == b"one"
+    assert nic.receive() == b"two"
+    assert nic.receive() is None
+
+
+# -- TPM ------------------------------------------------------------------------------
+
+def test_tpm_seal_unseal_roundtrip():
+    tpm = TPM(CycleClock(), serial=b"serial-1")
+    blob = tpm.seal(b"secret key material")
+    assert b"secret key material" not in blob
+    assert tpm.unseal(blob) == b"secret key material"
+
+
+def test_tpm_rejects_tampered_blob():
+    tpm = TPM(CycleClock(), serial=b"serial-1")
+    blob = bytearray(tpm.seal(b"data"))
+    blob[20] ^= 0xFF
+    with pytest.raises(SignatureError):
+        tpm.unseal(bytes(blob))
+
+
+def test_tpm_seal_is_machine_specific():
+    a = TPM(CycleClock(), serial=b"machine-a")
+    b = TPM(CycleClock(), serial=b"machine-b")
+    blob = a.seal(b"data")
+    with pytest.raises(SignatureError):
+        b.unseal(blob)
+
+
+def test_tpm_entropy_varies():
+    tpm = TPM(CycleClock(), serial=b"s")
+    assert tpm.entropy(32) != tpm.entropy(32)
+    assert len(tpm.entropy(100)) == 100
+
+
+# -- interrupts -------------------------------------------------------------------------
+
+def test_interrupt_dispatch():
+    clock = CycleClock()
+    ic = InterruptController(clock)
+    fired = []
+    ic.register(32, fired.append)
+    ic.raise_irq(32)
+    ic.raise_irq(32)
+    assert ic.has_pending
+    assert ic.dispatch_pending() == 2
+    assert fired == [32, 32]
+    assert not ic.has_pending
+
+
+def test_unhandled_interrupt_raises():
+    ic = InterruptController(CycleClock())
+    ic.raise_irq(33)
+    with pytest.raises(HardwareError):
+        ic.dispatch_pending()
+
+
+def test_bad_vector_rejected():
+    ic = InterruptController(CycleClock())
+    with pytest.raises(HardwareError):
+        ic.raise_irq(1000)
+
+
+# -- console / CPU -------------------------------------------------------------------------
+
+def test_console_lines_and_search():
+    console = Console()
+    console.write("line one\nline two")
+    assert console.contains("two")
+    assert not console.contains("three")
+    assert console.tail(1) == ["line two"]
+
+
+def test_register_file_scrub_keeps_listed():
+    regs = RegisterFile()
+    for name in GPR_NAMES:
+        regs.set(name, 0x1111)
+    regs.scrub(keep=("rax", "rdi"))
+    assert regs.get("rax") == 0x1111
+    assert regs.get("rdi") == 0x1111
+    assert regs.get("rbx") == 0
+
+
+def test_register_file_copy_is_independent():
+    regs = RegisterFile()
+    regs.set("rax", 5)
+    clone = regs.copy()
+    regs.set("rax", 9)
+    assert clone.get("rax") == 5
+
+
+def test_register_unknown_name_rejected():
+    regs = RegisterFile()
+    with pytest.raises(KeyError):
+        regs.set("xyz", 1)
+
+
+def test_cpu_modes():
+    cpu = CPU()
+    assert not cpu.in_user_mode
+    cpu.enter_user()
+    assert cpu.in_user_mode
+    cpu.enter_kernel()
+    assert not cpu.in_user_mode
+
+
+def test_machine_assembly():
+    machine = Machine(MachineConfig(memory_frames=128, disk_sectors=64))
+    assert machine.memory_bytes == 128 * PAGE_SIZE
+    assert machine.disk_bytes == 64 * SECTOR_SIZE
+    assert machine.ports.owner(IOMMU_PORT_BASE) == "iommu"

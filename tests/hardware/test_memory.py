@@ -1,0 +1,75 @@
+"""Physical memory."""
+
+import pytest
+
+from repro.errors import PhysicalMemoryError
+from repro.hardware.memory import PAGE_SIZE, PhysicalMemory
+
+
+def test_read_unwritten_memory_is_zero():
+    mem = PhysicalMemory(4)
+    assert mem.read(0, 16) == bytes(16)
+
+
+def test_write_read_roundtrip():
+    mem = PhysicalMemory(4)
+    mem.write(100, b"hello")
+    assert mem.read(100, 5) == b"hello"
+
+
+def test_cross_frame_access():
+    mem = PhysicalMemory(4)
+    data = bytes(range(64))
+    addr = PAGE_SIZE - 32
+    mem.write(addr, data)
+    assert mem.read(addr, 64) == data
+
+
+def test_word_access():
+    mem = PhysicalMemory(2)
+    mem.write_word(8, 0xDEADBEEFCAFEF00D)
+    assert mem.read_word(8) == 0xDEADBEEFCAFEF00D
+
+
+def test_word_truncates_to_64_bits():
+    mem = PhysicalMemory(2)
+    mem.write_word(0, 1 << 65)
+    assert mem.read_word(0) == 0
+
+
+def test_out_of_range_read_rejected():
+    mem = PhysicalMemory(2)
+    with pytest.raises(PhysicalMemoryError):
+        mem.read(2 * PAGE_SIZE - 4, 8)
+
+
+def test_out_of_range_frame_rejected():
+    mem = PhysicalMemory(2)
+    with pytest.raises(PhysicalMemoryError):
+        mem.frame(2)
+
+
+def test_zero_frame():
+    mem = PhysicalMemory(2)
+    mem.write(PAGE_SIZE, b"\xff" * 100)
+    mem.zero_frame(1)
+    assert mem.read(PAGE_SIZE, 100) == bytes(100)
+
+
+def test_lazy_materialization():
+    mem = PhysicalMemory(1000)
+    assert not mem.is_materialized(500)
+    mem.write(500 * PAGE_SIZE, b"x")
+    assert mem.is_materialized(500)
+    assert not mem.is_materialized(501)
+
+
+def test_zero_frame_count_required():
+    with pytest.raises(ValueError):
+        PhysicalMemory(0)
+
+
+def test_negative_length_rejected():
+    mem = PhysicalMemory(1)
+    with pytest.raises(ValueError):
+        mem.read(0, -1)

@@ -1,0 +1,173 @@
+"""MMU: page-table walks, TLB, permissions, editor."""
+
+import pytest
+
+from repro.errors import TranslationFault
+from repro.hardware.clock import CycleClock
+from repro.hardware.memory import PAGE_SIZE, PhysicalMemory
+from repro.hardware.mmu import (MMU, PTE_NX, PTE_PRESENT, PTE_USER,
+                                PTE_WRITE, PageTableEditor, make_pte,
+                                pte_frame, vpn_indices)
+
+
+@pytest.fixture
+def setup():
+    phys = PhysicalMemory(256)
+    clock = CycleClock()
+    mmu = MMU(phys, clock)
+    editor = PageTableEditor(phys, clock)
+    frames = iter(range(1, 256))
+    supply = lambda: next(frames)
+    root = editor.new_table(supply)
+    mmu.set_root(root)
+    return phys, mmu, editor, root, supply
+
+
+def test_pte_helpers_roundtrip():
+    pte = make_pte(0x123, PTE_PRESENT | PTE_WRITE)
+    assert pte_frame(pte) == 0x123
+    assert pte & PTE_PRESENT and pte & PTE_WRITE
+
+
+def test_vpn_indices_cover_levels():
+    indices = vpn_indices(0xFFFF_8000_0000_1000)
+    assert len(indices) == 4
+    assert all(0 <= i < 512 for i in indices)
+    assert vpn_indices(0)[3] == 0
+    assert vpn_indices(PAGE_SIZE)[3] == 1
+
+
+def test_map_and_translate(setup):
+    phys, mmu, editor, root, supply = setup
+    editor.map_page(root, 0x40_0000, 200, PTE_WRITE, supply)
+    paddr = mmu.translate(0x40_0123, write=True)
+    assert paddr == 200 * PAGE_SIZE + 0x123
+
+
+def test_unmapped_address_faults(setup):
+    _, mmu, *_ = setup
+    with pytest.raises(TranslationFault):
+        mmu.translate(0xdead000)
+
+
+def test_write_to_readonly_faults(setup):
+    phys, mmu, editor, root, supply = setup
+    editor.map_page(root, 0x40_0000, 200, 0, supply)
+    assert mmu.translate(0x40_0000) == 200 * PAGE_SIZE
+    with pytest.raises(TranslationFault) as exc:
+        mmu.translate(0x40_0000, write=True)
+    assert exc.value.present and exc.value.write
+
+
+def test_user_access_to_supervisor_page_faults(setup):
+    phys, mmu, editor, root, supply = setup
+    editor.map_page(root, 0x40_0000, 200, PTE_WRITE, supply)
+    with pytest.raises(TranslationFault):
+        mmu.translate(0x40_0000, user=True)
+
+
+def test_user_flag_allows_user_access(setup):
+    phys, mmu, editor, root, supply = setup
+    editor.map_page(root, 0x40_0000, 200, PTE_WRITE | PTE_USER, supply)
+    assert mmu.translate(0x40_0000, user=True) == 200 * PAGE_SIZE
+
+
+def test_nx_blocks_execute(setup):
+    phys, mmu, editor, root, supply = setup
+    editor.map_page(root, 0x40_0000, 200, PTE_NX | PTE_USER, supply)
+    mmu.translate(0x40_0000)                       # data access fine
+    with pytest.raises(TranslationFault):
+        mmu.translate(0x40_0000, execute=True)
+
+
+def test_tlb_caches_translations(setup):
+    phys, mmu, editor, root, supply = setup
+    editor.map_page(root, 0x40_0000, 200, PTE_WRITE, supply)
+    mmu.translate(0x40_0000)
+    walks_before = mmu.clock.counters.get("ptw", 0)
+    mmu.translate(0x40_0008)
+    assert mmu.clock.counters.get("ptw", 0) == walks_before
+    assert mmu.clock.counters.get("tlb_hit", 0) >= 1
+
+
+def test_invalidate_forces_rewalk(setup):
+    phys, mmu, editor, root, supply = setup
+    editor.map_page(root, 0x40_0000, 200, PTE_WRITE, supply)
+    mmu.translate(0x40_0000)
+    mmu.invalidate(0x40_0000)
+    walks_before = mmu.clock.counters.get("ptw", 0)
+    mmu.translate(0x40_0000)
+    assert mmu.clock.counters.get("ptw", 0) == walks_before + 1
+
+
+def test_stale_tlb_entry_survives_unmap_without_invalidate(setup):
+    """The hardware behaves like hardware: dropping a PTE without an
+    invlpg leaves the stale translation live (why SVA invalidates)."""
+    phys, mmu, editor, root, supply = setup
+    editor.map_page(root, 0x40_0000, 200, PTE_WRITE, supply)
+    mmu.translate(0x40_0000)
+    editor.unmap_page(root, 0x40_0000)
+    # stale entry still serves
+    assert mmu.translate(0x40_0000) == 200 * PAGE_SIZE
+    mmu.invalidate(0x40_0000)
+    with pytest.raises(TranslationFault):
+        mmu.translate(0x40_0000)
+
+
+def test_set_root_flushes_tlb(setup):
+    phys, mmu, editor, root, supply = setup
+    editor.map_page(root, 0x40_0000, 200, PTE_WRITE, supply)
+    mmu.translate(0x40_0000)
+    mmu.set_root(root)
+    walks_before = mmu.clock.counters.get("ptw", 0)
+    mmu.translate(0x40_0000)
+    assert mmu.clock.counters.get("ptw", 0) == walks_before + 1
+
+
+def test_unmap_returns_frame(setup):
+    phys, mmu, editor, root, supply = setup
+    editor.map_page(root, 0x40_0000, 200, PTE_WRITE, supply)
+    assert editor.unmap_page(root, 0x40_0000) == 200
+    assert editor.unmap_page(root, 0x40_0000) is None
+
+
+def test_read_leaf(setup):
+    phys, mmu, editor, root, supply = setup
+    assert editor.read_leaf(root, 0x40_0000) is None
+    editor.map_page(root, 0x40_0000, 200, PTE_WRITE, supply)
+    pte = editor.read_leaf(root, 0x40_0000)
+    assert pte is not None and pte_frame(pte) == 200
+
+
+def test_set_leaf_flags(setup):
+    phys, mmu, editor, root, supply = setup
+    editor.map_page(root, 0x40_0000, 200, PTE_WRITE, supply)
+    editor.set_leaf_flags(root, 0x40_0000, 0)
+    mmu.invalidate(0x40_0000)
+    with pytest.raises(TranslationFault):
+        mmu.translate(0x40_0000, write=True)
+
+
+def test_probe_does_not_fault(setup):
+    phys, mmu, editor, root, supply = setup
+    assert mmu.probe(0xdead000) is None
+    editor.map_page(root, 0x40_0000, 200, PTE_WRITE, supply)
+    result = mmu.probe(0x40_0000)
+    assert result is not None and result[0] == 200
+
+
+def test_distinct_roots_translate_independently(setup):
+    phys, mmu, editor, root, supply = setup
+    other_root = editor.new_table(supply)
+    editor.map_page(root, 0x40_0000, 200, PTE_WRITE, supply)
+    editor.map_page(other_root, 0x40_0000, 201, PTE_WRITE, supply)
+    mmu.set_root(root)
+    assert mmu.translate(0x40_0000) == 200 * PAGE_SIZE
+    mmu.set_root(other_root)
+    assert mmu.translate(0x40_0000) == 201 * PAGE_SIZE
+
+
+def test_unaligned_root_rejected(setup):
+    _, mmu, *_ = setup
+    with pytest.raises(ValueError):
+        mmu.set_root(123)

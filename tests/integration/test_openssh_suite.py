@@ -1,0 +1,153 @@
+"""Section 6 end-to-end: the cooperating OpenSSH suite on Virtual Ghost.
+
+ssh-keygen generates keys, ssh-agent serves them, ssh authenticates and
+transfers -- all sharing one application key, all heaps in ghost memory,
+with the OS seeing only ciphertext.
+"""
+
+import pytest
+
+from repro.core.config import VGConfig
+from repro.core.layout import GHOST_START
+from repro.system import System
+from repro.userland.apps.ssh import RemoteSshServer, SshClient
+from repro.userland.apps.ssh_agent import AGENT_PORT, SshAgent
+from repro.userland.apps.ssh_keygen import SshKeygen
+from repro.userland.apps.sshkeys import deserialize_public
+from repro.userland.loader import derive_app_key
+from repro.userland.wrappers import GhostWrappers
+
+from tests.conftest import ScriptProgram
+
+KEY = derive_app_key("integration-suite")
+
+
+@pytest.fixture(scope="module")
+def suite_system():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=64)
+    system.install("/bin/ssh-keygen", SshKeygen(), app_key=KEY)
+    agent = SshAgent()
+    system.install("/bin/ssh-agent", agent, app_key=KEY)
+    client = SshClient(ghosting=True)
+    system.install("/bin/ssh", client, app_key=KEY)
+    system.agent = agent
+    system.client = client
+    return system
+
+
+def test_full_suite_flow(suite_system):
+    system = suite_system
+    # 1. generate keys
+    proc = system.spawn("/bin/ssh-keygen", argv=("/home_id",))
+    assert system.run_until_exit(proc) == 0
+
+    # 2. the on-disk private key is opaque to the OS
+    raw = system.read_file("/home_id")
+    assert b"PRIV" not in raw
+
+    # 3. agent loads it (decrypting with the shared app key) and signs
+    agent_proc = system.spawn("/bin/ssh-agent", argv=("/home_id",))
+    results = {}
+
+    def driver(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        fd = yield from env.sys_connect("localhost", AGENT_PORT)
+        yield from wrappers.write_bytes(fd, b"SIGN")
+        yield from wrappers.write_bytes(fd, b"\x11" * 32)
+        results["signature"] = yield from wrappers.read_bytes(fd, 64)
+        yield from env.sys_close(fd)
+        fd = yield from env.sys_connect("localhost", AGENT_PORT)
+        yield from wrappers.write_bytes(fd, b"STOP")
+        yield from env.sys_close(fd)
+        return 0
+
+    system.install("/bin/driver", ScriptProgram(driver), app_key=KEY)
+    driver_proc = system.spawn("/bin/driver")
+    system.run_until_exit(driver_proc, max_slices=2_000_000)
+    system.run_until_exit(agent_proc, max_slices=2_000_000)
+
+    public = deserialize_public(system.read_file("/home_id.pub"))
+    assert public.verify(b"\x11" * 32, results["signature"])
+
+    # 4. ssh authenticates to a remote host with the same key
+    contents = b"remote file body " * 500
+    server = RemoteSshServer({"doc.txt": contents})
+    server.client_public = public
+    system.kernel.net.register_remote_service("host", 22, lambda: server)
+    ssh_proc = system.spawn("/bin/ssh",
+                            argv=("host", 22, "doc.txt", "/home_id"))
+    assert system.run_until_exit(ssh_proc, max_slices=4_000_000) == 0
+    assert system.client.bytes_received == len(contents)
+    assert server.auth_failures == 0
+
+
+def test_suite_with_wrong_app_key_cannot_read_keys(suite_system):
+    """An application installed with a different key cannot decrypt the
+    suite's files -- per-suite isolation via the key chain."""
+    system = suite_system
+    outsider_key = derive_app_key("outsider")
+    outcome = {}
+
+    def outsider(env, program):
+        env.malloc_init(use_ghost=True)
+        wrappers = GhostWrappers(env)
+        my_key = env.get_app_key()
+        outcome["loaded"] = yield from wrappers.load_encrypted(
+            "/home_id", my_key)
+        return 0
+
+    system.install("/bin/outsider", ScriptProgram(outsider),
+                   app_key=outsider_key)
+    proc = system.spawn("/bin/outsider")
+    system.run_until_exit(proc)
+    assert outcome["loaded"] is None
+
+
+def test_os_cannot_decrypt_suite_files(suite_system):
+    """Even with full disk access, the kernel lacks the app key."""
+    system = suite_system
+    raw = system.read_file("/home_id")
+    from repro.crypto.signing import authenticated_decrypt
+    from repro.errors import SignatureError
+    # the OS guesses a key (here: the zero key it could hard-code)
+    with pytest.raises(SignatureError):
+        authenticated_decrypt(b"\x00" * 16, raw, aad=b"/home_id")
+
+
+def test_ghost_partitions_are_per_process(suite_system):
+    system = suite_system
+    seen = {}
+
+    def prog_a(env, program):
+        heap = env.malloc_init(use_ghost=True)
+        addr = heap.store(b"process A data")
+        seen["a"] = (env.proc.pid, addr)
+        yield from env.sys_sched_yield()
+        seen["a_intact"] = env.mem_read(addr, 14) == b"process A data"
+        return 0
+
+    def prog_b(env, program):
+        heap = env.malloc_init(use_ghost=True)
+        addr = heap.store(b"process B data")
+        seen["b"] = (env.proc.pid, addr)
+        # B cannot see A's ghost page even at the same address class:
+        a_pid, a_addr = seen["a"]
+        try:
+            seen["b_read_of_a"] = env.mem_read(a_addr, 14)
+        except Exception:
+            seen["b_read_of_a"] = None
+        yield from env.sys_sched_yield()
+        return 0
+
+    system.install("/bin/ga", ScriptProgram(prog_a))
+    system.install("/bin/gb", ScriptProgram(prog_b))
+    proc_a = system.spawn("/bin/ga")
+    system.run(until=lambda: "a" in seen, max_slices=100_000)
+    proc_b = system.spawn("/bin/gb")
+    system.run(until=lambda: "b" in seen, max_slices=100_000)
+    system.run_until_exit(proc_a)
+    system.run_until_exit(proc_b)
+    assert seen["a_intact"]
+    # B's view of A's ghost address: not A's data (unmapped or B's own)
+    assert seen["b_read_of_a"] != b"process A data"

@@ -1,0 +1,106 @@
+"""Emergent-overhead invariants: the performance model's honesty checks.
+
+These assert that Virtual Ghost's costs come from *counted instrumentation
+events*, not injected latencies: the native run executes zero mask checks
+and zero CFI checks; the VG run's extra cycles are attributable to the
+instrumentation categories.
+"""
+
+import pytest
+
+from repro.core.config import VGConfig
+from repro.system import System
+from repro.workloads.lmbench import LMBench
+
+from tests.conftest import run_script, write_and_read_file
+
+
+def _run_workload(config):
+    system = System.create(config, memory_mb=32)
+    run_script(system, write_and_read_file)
+    return system
+
+
+def test_native_run_has_zero_instrumentation_events():
+    system = _run_workload(VGConfig.native())
+    counters = system.machine.clock.counters
+    assert counters.get("mask_check", 0) == 0
+    assert counters.get("mask_check_bulk", 0) == 0
+    assert counters.get("cfi_check", 0) == 0
+    assert counters.get("mmu_check", 0) == 0
+    assert counters.get("ic_save_sva", 0) == 0
+    assert counters.get("reg_scrub", 0) == 0
+
+
+def test_vg_run_counts_instrumentation_events():
+    system = _run_workload(VGConfig.virtual_ghost())
+    counters = system.machine.clock.counters
+    assert counters.get("mask_check", 0) > 100
+    assert counters.get("cfi_check", 0) > 10
+    assert counters.get("ic_save_sva", 0) > 5
+    assert counters.get("reg_scrub", 0) > 5
+
+
+def test_vg_is_slower_and_attributably_so():
+    native = _run_workload(VGConfig.native())
+    vg = _run_workload(VGConfig.virtual_ghost())
+    assert vg.cycles > native.cycles
+    vg_kinds = vg.machine.clock.cycles_by_kind
+    native_kinds = native.machine.clock.cycles_by_kind
+    instrumented_cycles = sum(
+        vg_kinds.get(kind, 0)
+        for kind in ("mask_check", "mask_check_bulk", "cfi_check",
+                     "mmu_check", "ic_save_sva", "ic_restore_sva",
+                     "reg_scrub", "sva_dispatch"))
+    # exec-time signature validation is a VG protection too (the native
+    # baseline performs none): attribute its crypto surplus as well
+    crypto_surplus = sum(
+        vg_kinds.get(kind, 0) - native_kinds.get(kind, 0)
+        for kind in ("rsa_op", "sha_block", "aes_block"))
+    # The VG surplus over native is explained by instrumentation +
+    # validation categories (plus small secondary effects), within 40%.
+    surplus = vg.cycles - native.cycles
+    assert instrumented_cycles + crypto_surplus > 0.6 * surplus
+
+
+def test_ablation_sandbox_only_cheaper_than_full():
+    full = _run_workload(VGConfig.virtual_ghost())
+    sandbox_only = _run_workload(VGConfig.native().with_(sandboxing=True))
+    native = _run_workload(VGConfig.native())
+    assert native.cycles < sandbox_only.cycles < full.cycles
+
+
+def test_ablation_each_protection_adds_cost():
+    base = _run_workload(VGConfig.native()).cycles
+    for toggle in ("sandboxing", "cfi", "secure_ic"):
+        cost = _run_workload(VGConfig.native().with_(
+            **{toggle: True})).cycles
+        assert cost > base, toggle
+
+
+def test_null_syscall_ratio_in_paper_band():
+    """Table 2 headline: null-syscall overhead ~3.9x (we accept 3-5x)."""
+    native = LMBench(VGConfig.native(), iterations=40).run_one(
+        "null_syscall")
+    vg = LMBench(VGConfig.virtual_ghost(), iterations=40).run_one(
+        "null_syscall")
+    ratio = vg.us_per_op / native.us_per_op
+    assert 3.0 < ratio < 5.0
+
+
+def test_page_fault_ratio_is_the_low_outlier():
+    """Table 2 shape: page faults carry the smallest VG overhead."""
+    native = LMBench(VGConfig.native(), iterations=40)
+    vg = LMBench(VGConfig.virtual_ghost(), iterations=40)
+    fault_ratio = (vg.run_one("page_fault").us_per_op
+                   / native.run_one("page_fault").us_per_op)
+    syscall_ratio = (vg.run_one("open_close").us_per_op
+                     / native.run_one("open_close").us_per_op)
+    assert fault_ratio < 2.0 < syscall_ratio
+
+
+def test_determinism_same_run_same_cycles():
+    a = _run_workload(VGConfig.virtual_ghost())
+    b = _run_workload(VGConfig.virtual_ghost())
+    assert a.cycles == b.cycles
+    assert a.machine.clock.counters == b.machine.clock.counters

@@ -1,0 +1,60 @@
+"""Blocking select and cross-process wakeups."""
+
+import pytest
+
+from tests.conftest import ScriptProgram
+
+
+def test_blocking_select_wakes_on_pipe_data(native_system):
+    """One process blocks in select; a writer process (sharing the pipe
+    via fork) makes it ready."""
+    order = []
+
+    def parent(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        read_fd, write_fd = yield from env.sys_pipe()
+        program.read_fd, program.write_fd = read_fd, write_fd
+        child = yield from env.sys_fork()
+        order.append("selecting")
+        mask = yield from env.sys_select((read_fd,), 1)   # blocking
+        order.append("woke")
+        buf = heap.malloc(8)
+        got = yield from env.sys_read(read_fd, buf, 8)
+        program.result = env.mem_read(buf, got)
+        yield from env.sys_wait4(child)
+        return 0
+
+    def child(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        # let the parent block first
+        for _ in range(3):
+            yield from env.sys_sched_yield()
+        order.append("writing")
+        msg = heap.store(b"wake up!")
+        yield from env.sys_write(program.write_fd, msg, 8)
+        yield from env.sys_exit(0)
+
+    program = ScriptProgram(parent, child)
+    native_system.install("/bin/sel", program)
+    proc = native_system.spawn("/bin/sel")
+    native_system.run_until_exit(proc, max_slices=100_000)
+    assert order == ["selecting", "writing", "woke"]
+    assert program.result == b"wake up!"
+
+
+def test_interpreter_run_addr(native_system):
+    """Host code can invoke a module function by code address."""
+    module = native_system.kernel.loader.load("""
+module addressable
+func @times_three(%x) {
+entry:
+  %r = mul %x, 3
+  ret %r
+}
+""")
+    addr = module.image.functions["times_three"].base
+    assert module.interpreter.run_addr(addr, [7]) == 21
+
+    from repro.errors import InterpreterError
+    with pytest.raises(InterpreterError, match="non-function"):
+        module.interpreter.run_addr(addr + 1, [7])

@@ -1,0 +1,109 @@
+"""Kernel execution context: sandboxed copies + work accounting."""
+
+import pytest
+
+from repro.core.config import VGConfig
+from repro.core.layout import GHOST_START, SVA_START
+from repro.hardware.memory import PAGE_SIZE
+from repro.hardware.platform import Machine, MachineConfig
+from repro.kernel.context import KernelContext, SupervisorMemoryPort
+from repro.system import System
+
+
+def _mapped_machine():
+    """Machine with an identity-ish mapping for a kernel test page."""
+    system = System.create(VGConfig.native(), memory_mb=16)
+    kernel = system.kernel
+    vaddr = kernel.vmm.kalloc_pages(1)
+    return system, vaddr
+
+
+def test_supervisor_port_reads_and_writes():
+    system, vaddr = _mapped_machine()
+    port = SupervisorMemoryPort(system.machine)
+    port.write_bytes(vaddr + 8, b"kernel bytes")
+    assert port.read_bytes(vaddr + 8, 12) == b"kernel bytes"
+    port.store(vaddr, 4, 0xAABBCCDD)
+    assert port.load(vaddr, 4) == 0xAABBCCDD
+
+
+def test_supervisor_port_stray_reads_zero():
+    system, _ = _mapped_machine()
+    port = SupervisorMemoryPort(system.machine)
+    assert port.read_bytes(0xDEAD_0000_0000, 16) == bytes(16)
+    assert port.stray_reads == 1
+
+
+def test_supervisor_port_stray_writes_dropped():
+    system, _ = _mapped_machine()
+    port = SupervisorMemoryPort(system.machine)
+    port.write_bytes(0xDEAD_0000_0000, b"gone")
+    assert port.stray_writes == 1
+
+
+def test_supervisor_port_copy_and_fill():
+    system, vaddr = _mapped_machine()
+    port = SupervisorMemoryPort(system.machine)
+    port.write_bytes(vaddr, b"source!!")
+    port.copy(vaddr + 64, vaddr, 8)
+    assert port.read_bytes(vaddr + 64, 8) == b"source!!"
+    port.fill(vaddr + 128, 0xAB, 4)
+    assert port.read_bytes(vaddr + 128, 4) == b"\xab" * 4
+
+
+def _contexts():
+    vg_machine = Machine(MachineConfig())
+    native_machine = Machine(MachineConfig())
+    return (KernelContext(vg_machine, VGConfig.virtual_ghost()),
+            KernelContext(native_machine, VGConfig.native()))
+
+
+def test_work_charges_masking_only_under_vg():
+    vg_ctx, native_ctx = _contexts()
+    vg_ctx.work(mem=10)
+    native_ctx.work(mem=10)
+    assert vg_ctx.clock.counters.get("mask_check", 0) == 10
+    assert native_ctx.clock.counters.get("mask_check", 0) == 0
+    assert vg_ctx.clock.cycles > native_ctx.clock.cycles
+
+
+def test_work_charges_cfi_only_under_vg():
+    vg_ctx, native_ctx = _contexts()
+    vg_ctx.work(rets=3, icalls=2)
+    native_ctx.work(rets=3, icalls=2)
+    assert vg_ctx.clock.counters.get("cfi_check", 0) == 5
+    assert native_ctx.clock.counters.get("cfi_check", 0) == 0
+
+
+def test_vg_copy_to_ghost_address_vanishes():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=16)
+    ctx = system.kernel.ctx
+    ctx.write_virt(GHOST_START + 0x1000, b"stolen?")
+    assert ctx.masked_accesses == 1
+    assert ctx.stray_writes == 1          # landed in the dead zone
+
+
+def test_vg_read_of_sva_address_yields_nulls():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=16)
+    ctx = system.kernel.ctx
+    data = ctx.read_virt(SVA_START + 0x40, 8)
+    assert data == bytes(8)               # address nullified then stray
+
+
+def test_native_kernel_reads_any_mapped_address():
+    system = System.create(VGConfig.native(), memory_mb=16)
+    kernel = system.kernel
+    vaddr = kernel.vmm.kalloc_pages(1)
+    system.machine.phys.write(
+        system.machine.mmu.translate(vaddr), b"plain")
+    assert kernel.ctx.read_virt(vaddr, 5) == b"plain"
+    assert kernel.ctx.masked_accesses == 0
+
+
+def test_copy_call_counter():
+    system = System.create(VGConfig.native(), memory_mb=16)
+    ctx = system.kernel.ctx
+    before = ctx.clock.counters.get("copy_call", 0)
+    ctx.read_virt(0x40_0000, 8)
+    ctx.write_virt(0x40_0000, b"x")
+    assert ctx.clock.counters["copy_call"] == before + 2

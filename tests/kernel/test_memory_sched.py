@@ -1,0 +1,195 @@
+"""VM manager internals and scheduler behaviour."""
+
+import pytest
+
+from repro.core.config import VGConfig
+from repro.errors import KernelError, SyscallError
+from repro.hardware.memory import PAGE_SIZE
+from repro.kernel.memory import (FrameAllocator, MAP_ANON, PROT_READ,
+                                 PROT_WRITE)
+from repro.system import System
+
+from tests.conftest import ScriptProgram, run_script
+
+
+# -- frame allocator ---------------------------------------------------------------
+
+def test_frame_allocator_unique_frames():
+    allocator = FrameAllocator(64)
+    frames = allocator.alloc_many(63)
+    assert len(set(frames)) == 63
+    assert 0 not in frames                 # frame 0 reserved
+
+
+def test_frame_allocator_exhaustion_and_reuse():
+    allocator = FrameAllocator(4)
+    frames = allocator.alloc_many(3)
+    with pytest.raises(KernelError, match="out of physical memory"):
+        allocator.alloc()
+    allocator.free(frames[0])
+    assert allocator.alloc() == frames[0]
+    assert allocator.available == 0
+
+
+# -- address spaces -------------------------------------------------------------------
+
+def test_mmap_rejects_overlap(native_system):
+    kernel = native_system.kernel
+    aspace = kernel.vmm.new_address_space()
+    start = kernel.vmm.mmap(aspace, 0x2000_0000, 8192,
+                            PROT_READ | PROT_WRITE, MAP_ANON)
+    with pytest.raises(SyscallError, match="EEXIST"):
+        kernel.vmm.mmap(aspace, start + 4096, 8192,
+                        PROT_READ | PROT_WRITE, MAP_ANON)
+
+
+def test_mmap_rejects_bad_length(native_system):
+    kernel = native_system.kernel
+    aspace = kernel.vmm.new_address_space()
+    with pytest.raises(SyscallError, match="EINVAL"):
+        kernel.vmm.mmap(aspace, 0, 0, PROT_READ, MAP_ANON)
+
+
+def test_fault_on_unmapped_address_efaults(native_system):
+    kernel = native_system.kernel
+    aspace = kernel.vmm.new_address_space()
+    with pytest.raises(SyscallError, match="EFAULT"):
+        kernel.vmm.handle_fault(aspace, 0x7777_0000, write=False)
+
+
+def test_fault_on_readonly_write_efaults(native_system):
+    kernel = native_system.kernel
+    aspace = kernel.vmm.new_address_space()
+    start = kernel.vmm.mmap(aspace, 0, 4096, PROT_READ, MAP_ANON)
+    with pytest.raises(SyscallError, match="EFAULT"):
+        kernel.vmm.handle_fault(aspace, start, write=True)
+    # read fault is fine
+    kernel.vmm.handle_fault(aspace, start, write=False)
+
+
+def test_destroy_address_space_returns_frames(native_system):
+    kernel = native_system.kernel
+    aspace = kernel.vmm.new_address_space()
+    start = kernel.vmm.mmap(aspace, 0, 4 * PAGE_SIZE,
+                            PROT_READ | PROT_WRITE, MAP_ANON)
+    for page in range(4):
+        kernel.vmm.handle_fault(aspace, start + page * PAGE_SIZE,
+                                write=True)
+    available_before = kernel.vmm.frames.available
+    kernel.vmm.destroy_address_space(aspace)
+    assert kernel.vmm.frames.available == available_before + 4
+
+
+def test_kalloc_stack_has_guard_gap(native_system):
+    kernel = native_system.kernel
+    a = kernel.vmm.kalloc_stack(pages=2)
+    b = kernel.vmm.kalloc_stack(pages=2)
+    assert b - (a + 2 * PAGE_SIZE) >= PAGE_SIZE     # guard page between
+
+
+def test_process_exit_frees_its_memory(native_system):
+    def body(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        for _ in range(10):
+            addr = heap.malloc(PAGE_SIZE)
+            env.mem_write(addr, b"x")
+        yield from env.sys_getpid()
+        return 0
+
+    available_before = None
+
+    # run twice: steady-state frame count should not decrease
+    for round_number in range(2):
+        program = ScriptProgram(body)
+        native_system.install(f"/bin/leak{round_number}", program)
+        proc = native_system.spawn(f"/bin/leak{round_number}")
+        native_system.run_until_exit(proc)
+    available = native_system.kernel.vmm.frames.available
+    program = ScriptProgram(body)
+    native_system.install("/bin/leak2", program)
+    proc = native_system.spawn("/bin/leak2")
+    native_system.run_until_exit(proc)
+    # user frames recycled; only bounded kernel-side growth (stacks)
+    assert native_system.kernel.vmm.frames.available >= available - 8
+
+
+# -- scheduler -------------------------------------------------------------------------
+
+def test_round_robin_interleaves_processes(native_system):
+    trace = []
+
+    def make_body(tag):
+        def body(env, program):
+            for _ in range(3):
+                trace.append(tag)
+                yield from env.sys_sched_yield()
+            return 0
+        return body
+
+    native_system.install("/bin/a", ScriptProgram(make_body("a")))
+    native_system.install("/bin/b", ScriptProgram(make_body("b")))
+    proc_a = native_system.spawn("/bin/a")
+    proc_b = native_system.spawn("/bin/b")
+    native_system.run()
+    assert proc_a.is_zombie and proc_b.is_zombie
+    # genuine interleaving, not a-a-a-b-b-b
+    assert trace[:4] == ["a", "b", "a", "b"]
+
+
+def test_scheduler_slice_limit_raises(native_system):
+    def spinner(env, program):
+        while True:
+            yield from env.sys_sched_yield()
+
+    native_system.install("/bin/spin", ScriptProgram(spinner))
+    native_system.spawn("/bin/spin")
+    with pytest.raises(KernelError, match="slice limit"):
+        native_system.run(max_slices=50)
+
+
+def test_run_until_exit_reports_blocked_deadlock(native_system):
+    def blocked(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        r, w = yield from env.sys_pipe()
+        buf = heap.malloc(8)
+        yield from env.sys_read(r, buf, 8)     # never satisfied
+        return 0
+
+    native_system.install("/bin/block", ScriptProgram(blocked))
+    proc = native_system.spawn("/bin/block")
+    with pytest.raises(KernelError, match="did not exit"):
+        native_system.run_until_exit(proc, max_slices=10_000)
+
+
+def test_quantum_preempts_syscall_heavy_thread(native_system):
+    """A thread making many syscalls is rotated out after its quantum."""
+    from repro.kernel.kernel import QUANTUM_SYSCALLS
+    trace = []
+
+    def hog(env, program):
+        for _ in range(QUANTUM_SYSCALLS + 10):
+            yield from env.sys_getpid()
+        trace.append("hog-done")
+        return 0
+
+    def other(env, program):
+        trace.append("other-ran")
+        yield from env.sys_getpid()
+        return 0
+
+    native_system.install("/bin/hog", ScriptProgram(hog))
+    native_system.install("/bin/other", ScriptProgram(other))
+    native_system.spawn("/bin/hog")
+    native_system.spawn("/bin/other")
+    native_system.run()
+    # the other thread ran before the hog finished its >quantum calls
+    assert trace.index("other-ran") < trace.index("hog-done")
+
+
+def test_exit_status_zero_for_plain_return(native_system):
+    def body(env, program):
+        return
+        yield
+
+    status, _ = run_script(native_system, body)
+    assert status == 0

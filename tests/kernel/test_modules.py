@@ -1,0 +1,168 @@
+"""Loadable kernel modules: translation, hooks, externs, data segments."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.syscalls.table import SYS
+from repro.userland.libc import O_CREAT, O_RDONLY, O_WRONLY
+
+from tests.conftest import ScriptProgram, run_script
+
+COUNTER_MODULE = """
+module counter
+
+extern @klog_hex/1
+global @count 8
+global @label 8 = "cnt"
+
+func @tick(%by) {
+entry:
+  %old = load8 @count
+  %new = add %old, %by
+  store8 %new, @count
+  ret %new
+}
+
+func @read_count() {
+entry:
+  %v = load8 @count
+  ret %v
+}
+"""
+
+HOOK_MODULE = """
+module readhook
+
+extern @orig_read/3
+global @invocations 8
+
+func @counting_read(%fd, %buf, %len) {
+entry:
+  %n = load8 @invocations
+  %n1 = add %n, 1
+  store8 %n1, @invocations
+  %r = call @orig_read(%fd, %buf, %len)
+  ret %r
+}
+"""
+
+
+def test_load_and_call_module(any_system):
+    module = any_system.kernel.loader.load(COUNTER_MODULE)
+    assert module.call("tick", [5]) == 5
+    assert module.call("tick", [3]) == 8
+    assert module.call("read_count", []) == 8
+
+
+def test_module_globals_initialized(any_system):
+    module = any_system.kernel.loader.load(COUNTER_MODULE)
+    addr = module.global_addr("label")
+    assert any_system.kernel.ctx.port.read_bytes(addr, 3) == b"cnt"
+
+
+def test_module_instrumented_only_under_vg(vg_system, native_system):
+    vg_module = vg_system.kernel.loader.load(COUNTER_MODULE)
+    native_module = native_system.kernel.loader.load(COUNTER_MODULE)
+    vg_ops = [i.opcode
+              for i in vg_module.image.functions["tick"].insns]
+    native_ops = [i.opcode
+                  for i in native_module.image.functions["tick"].insns]
+    assert "vgmask" in vg_ops and "cfi_ret" in vg_ops
+    assert "vgmask" not in native_ops and "ret" in native_ops
+    assert vg_module.instrumented and not native_module.instrumented
+
+
+def test_duplicate_module_name_rejected(native_system):
+    native_system.kernel.loader.load(COUNTER_MODULE)
+    with pytest.raises(KernelError, match="already loaded"):
+        native_system.kernel.loader.load(COUNTER_MODULE)
+
+
+def test_unknown_global_rejected(native_system):
+    module = native_system.kernel.loader.load(COUNTER_MODULE)
+    with pytest.raises(KernelError, match="no global"):
+        module.global_addr("missing")
+
+
+def test_syscall_hook_intercepts_reads(any_system):
+    kernel = any_system.kernel
+    module = kernel.loader.load(HOOK_MODULE)
+    kernel.loader.install_syscall_hook(module, SYS["read"],
+                                       "counting_read")
+    any_system.write_file("/hooked.txt", b"read me")
+
+    def body(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        fd = yield from env.sys_open("/hooked.txt", O_RDONLY)
+        buf = heap.malloc(16)
+        got = yield from env.sys_read(fd, buf, 16)
+        program.result = env.mem_read(buf, got)
+        yield from env.sys_close(fd)
+        return 0
+
+    _, program = run_script(any_system, body)
+    assert program.result == b"read me"        # hook chains to orig_read
+    count = kernel.ctx.port.load(module.global_addr("invocations"), 8)
+    assert count >= 1
+
+
+def test_hook_removal_restores_original(native_system):
+    kernel = native_system.kernel
+    module = kernel.loader.load(HOOK_MODULE)
+    kernel.loader.install_syscall_hook(module, SYS["read"],
+                                       "counting_read")
+    kernel.loader.remove_syscall_hook(SYS["read"])
+    assert SYS["read"] not in kernel.syscall_hooks
+
+
+def test_hook_to_unknown_function_rejected(native_system):
+    kernel = native_system.kernel
+    module = kernel.loader.load(HOOK_MODULE)
+    with pytest.raises(KernelError, match="no function"):
+        kernel.loader.install_syscall_hook(module, SYS["read"], "nope")
+
+
+def test_unload_removes_hooks(native_system):
+    kernel = native_system.kernel
+    module = kernel.loader.load(HOOK_MODULE)
+    kernel.loader.install_syscall_hook(module, SYS["read"],
+                                       "counting_read")
+    kernel.loader.unload("readhook")
+    assert SYS["read"] not in kernel.syscall_hooks
+    assert "readhook" not in kernel.loader.modules
+
+
+def test_module_extern_klog(any_system):
+    source = """
+module logger
+extern @klog/2
+global @msg 16 = "module online"
+func @announce() {
+entry:
+  %r = call @klog(@msg, 13)
+  ret 0
+}
+"""
+    module = any_system.kernel.loader.load(source)
+    module.call("announce", [])
+    assert any_system.console.contains("module online")
+
+
+def test_module_cur_pid_extern(native_system):
+    source = """
+module whoami
+extern @cur_pid/0
+func @who() {
+entry:
+  %p = call @cur_pid()
+  ret %p
+}
+"""
+    module = native_system.kernel.loader.load(source)
+    assert module.call("who", []) == 0      # no current syscall context
+
+
+def test_module_state_persists_across_calls(any_system):
+    module = any_system.kernel.loader.load(COUNTER_MODULE)
+    for expected in (1, 2, 3, 4):
+        assert module.call("tick", [1]) == expected

@@ -1,0 +1,254 @@
+"""Network stack: listeners, remote peers, loopback, socket syscalls."""
+
+import pytest
+
+from repro.kernel.net.stack import Connection
+from repro.kernel.syscalls.table import ERRNO
+from repro.userland.wrappers import GhostWrappers
+
+from tests.conftest import ScriptProgram, run_script
+
+
+class EchoPeer:
+    """Remote peer that echoes everything back."""
+
+    def __init__(self):
+        self.received = bytearray()
+        self.closed = False
+
+    def on_connect(self, conn):
+        self.conn = conn
+
+    def on_data(self, conn, data):
+        self.received += data
+        conn.peer_send(data.upper())
+
+    def on_close(self, conn):
+        self.closed = True
+
+
+def test_listen_accept_echo_roundtrip(any_system):
+    peer = EchoPeer()
+
+    def body(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        listen_fd = yield from env.sys_listen(7000)
+        program.listening = True
+        conn_fd = yield from env.sys_accept(listen_fd)
+        data = yield from wrappers.read_bytes(conn_fd, 5)
+        yield from wrappers.write_bytes(conn_fd, b"reply:" + data)
+        yield from env.sys_close(conn_fd)
+        program.result = data
+        return 0
+
+    program = ScriptProgram(body)
+    any_system.install("/bin/server", program)
+    proc = any_system.spawn("/bin/server")
+    any_system.run(max_slices=10_000)
+    assert getattr(program, "listening", False)
+
+    class Client:
+        got = bytearray()
+
+        def on_connect(self, conn):
+            conn.peer_send(b"hello")
+
+        def on_data(self, conn, data):
+            Client.got += data
+
+        def on_close(self, conn):
+            pass
+
+    any_system.kernel.net.remote_connect(7000, Client())
+    any_system.run_until_exit(proc)
+    assert program.result == b"hello"
+    assert bytes(Client.got) == b"reply:hello"
+
+
+def test_accept_blocks_until_connection(native_system):
+    order = []
+
+    def body(env, program):
+        listen_fd = yield from env.sys_listen(7001)
+        program.listen_fd = listen_fd
+        order.append("listening")
+        conn_fd = yield from env.sys_accept(listen_fd)
+        order.append("accepted")
+        yield from env.sys_close(conn_fd)
+        return 0
+
+    program = ScriptProgram(body)
+    native_system.install("/bin/server", program)
+    proc = native_system.spawn("/bin/server")
+    native_system.run(max_slices=10_000)
+    assert order == ["listening"]          # parked in accept
+
+    class Quiet:
+        def on_connect(self, conn): pass
+        def on_data(self, conn, data): pass
+        def on_close(self, conn): pass
+
+    native_system.kernel.net.remote_connect(7001, Quiet())
+    native_system.run_until_exit(proc)
+    assert order == ["listening", "accepted"]
+
+
+def test_connect_to_remote_service(native_system):
+    def factory():
+        return EchoPeer()
+
+    native_system.kernel.net.register_remote_service("farhost", 9999,
+                                                     factory)
+
+    def body(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        fd = yield from env.sys_connect("farhost", 9999)
+        yield from wrappers.write_bytes(fd, b"ping")
+        program.result = yield from wrappers.read_bytes(fd, 4)
+        yield from env.sys_close(fd)
+        return 0
+
+    _, program = run_script(native_system, body)
+    assert program.result == b"PING"
+
+
+def test_connect_refused_without_service(native_system):
+    def body(env, program):
+        program.result = yield from env.sys_connect("nowhere", 1)
+        return 0
+
+    _, program = run_script(native_system, body)
+    assert program.result == -ERRNO["ECONNREFUSED"]
+
+
+def test_duplicate_listen_rejected(native_system):
+    def body(env, program):
+        yield from env.sys_listen(7002)
+        program.result = yield from env.sys_listen(7002)
+        return 0
+
+    _, program = run_script(native_system, body)
+    assert program.result == -ERRNO["EADDRINUSE"]
+
+
+def test_loopback_between_two_processes(native_system):
+    """Two local processes talk over localhost (ssh-agent pattern)."""
+    def server_body(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        listen_fd = yield from env.sys_listen(7003)
+        program.ready = True
+        conn_fd = yield from env.sys_accept(listen_fd)
+        msg = yield from wrappers.read_bytes(conn_fd, 3)
+        yield from wrappers.write_bytes(conn_fd, msg[::-1])
+        yield from env.sys_close(conn_fd)
+        return 0
+
+    def client_body(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        fd = yield from env.sys_connect("localhost", 7003)
+        yield from wrappers.write_bytes(fd, b"abc")
+        program.result = yield from wrappers.read_bytes(fd, 3)
+        yield from env.sys_close(fd)
+        return 0
+
+    server = ScriptProgram(server_body)
+    client = ScriptProgram(client_body)
+    native_system.install("/bin/server", server)
+    native_system.install("/bin/client", client)
+    server_proc = native_system.spawn("/bin/server")
+    native_system.run(max_slices=10_000)
+    assert getattr(server, "ready", False)
+    client_proc = native_system.spawn("/bin/client")
+    native_system.run_until_exit(client_proc)
+    assert client.result == b"cba"
+
+
+def test_loopback_skips_nic(native_system):
+    tx_before = native_system.machine.nic.tx_bytes
+
+    def server_body(env, program):
+        listen_fd = yield from env.sys_listen(7004)
+        program.ready = True
+        conn_fd = yield from env.sys_accept(listen_fd)
+        yield from env.sys_close(conn_fd)
+        return 0
+
+    def client_body(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        fd = yield from env.sys_connect("localhost", 7004)
+        yield from wrappers.write_bytes(fd, b"local bytes")
+        yield from env.sys_close(fd)
+        return 0
+
+    native_system.install("/bin/server", ScriptProgram(server_body))
+    native_system.install("/bin/client", ScriptProgram(client_body))
+    native_system.spawn("/bin/server")
+    native_system.run(max_slices=10_000)
+    client_proc = native_system.spawn("/bin/client")
+    native_system.run_until_exit(client_proc)
+    assert native_system.machine.nic.tx_bytes == tx_before
+
+
+def test_read_at_eof_returns_empty(native_system):
+    def body(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        listen_fd = yield from env.sys_listen(7005)
+        program.ready = True
+        conn_fd = yield from env.sys_accept(listen_fd)
+        first = yield from wrappers.read_bytes(conn_fd, 4)
+        after_close = yield from wrappers.read_bytes(conn_fd, 4)
+        program.result = (first, after_close)
+        return 0
+
+    program = ScriptProgram(body)
+    native_system.install("/bin/server", program)
+    proc = native_system.spawn("/bin/server")
+    native_system.run(max_slices=10_000)
+
+    class OneShot:
+        def on_connect(self, conn):
+            conn.peer_send(b"data")
+            conn.peer_close()
+
+        def on_data(self, conn, data): pass
+        def on_close(self, conn): pass
+
+    native_system.kernel.net.remote_connect(7005, OneShot())
+    native_system.run_until_exit(proc)
+    assert program.result == (b"data", b"")
+
+
+def test_nic_costs_charged_for_remote_traffic(native_system):
+    def body(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        listen_fd = yield from env.sys_listen(7006)
+        program.ready = True
+        conn_fd = yield from env.sys_accept(listen_fd)
+        yield from wrappers.write_bytes(conn_fd, b"w" * 5000)
+        yield from env.sys_close(conn_fd)
+        return 0
+
+    program = ScriptProgram(body)
+    native_system.install("/bin/server", program)
+    proc = native_system.spawn("/bin/server")
+    native_system.run(max_slices=10_000)
+
+    class Sink:
+        def on_connect(self, conn): pass
+        def on_data(self, conn, data): pass
+        def on_close(self, conn): pass
+
+    bytes_before = native_system.machine.clock.counters.get(
+        "nic_per_byte", 0)
+    native_system.kernel.net.remote_connect(7006, Sink())
+    native_system.run_until_exit(proc)
+    sent = native_system.machine.clock.counters["nic_per_byte"] \
+        - bytes_before
+    assert sent >= 5000

@@ -1,0 +1,293 @@
+"""Process lifecycle (fork/exec/wait), signals, scheduling."""
+
+import pytest
+
+from repro.kernel.proc import Program
+from repro.kernel.signals import (SIG_IGN, SIGKILL, SIGTERM, SIGUSR1,
+                                  SIGUSR2)
+from repro.kernel.syscalls.table import ERRNO
+from repro.userland.libc import O_CREAT, O_WRONLY
+from repro.userland.loader import install_program
+from repro.userland.wrappers import GhostWrappers
+
+from tests.conftest import ScriptProgram, run_script
+
+
+# -- fork / wait ----------------------------------------------------------------
+
+def test_fork_returns_child_pid_and_wait_reaps(any_system):
+    def body(env, program):
+        child = yield from env.sys_fork()
+        assert child > 0
+        pid, status = yield from env.sys_wait4(child)
+        program.result = (child, pid, status)
+        return 0
+
+    def child_body(env, program):
+        yield from env.sys_exit(7)
+
+    _, program = run_script(any_system, body, child_body=child_body)
+    child, pid, status = program.result
+    assert pid == child and status == 7
+
+
+def test_fork_child_inherits_file_descriptors(native_system):
+    def body(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        fd = yield from env.sys_open("/shared.txt", O_WRONLY | O_CREAT)
+        child = yield from env.sys_fork()
+        yield from env.sys_wait4(child)
+        buf = heap.store(b"parent")
+        yield from env.sys_write(fd, buf, 6)
+        yield from env.sys_close(fd)
+        program.result = env.kernel.vfs.resolve("/shared.txt")[0] \
+            .read(0, 100)
+        return 0
+
+    def child_body(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        buf = heap.store(b"child!")
+        # fd 3 inherited and shares the offset
+        yield from env.sys_write(3, buf, 6)
+        yield from env.sys_exit(0)
+
+    _, program = run_script(native_system, body, child_body=child_body)
+    assert program.result == b"child!parent"
+
+
+def test_fork_copies_memory_snapshot(native_system):
+    observed = {}
+
+    def body(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        addr = heap.store(b"original")
+        program.shared_addr = addr
+        child = yield from env.sys_fork()
+        yield from env.sys_wait4(child)
+        # parent's copy unchanged by the child's write
+        program.result = env.mem_read(addr, 8)
+        return 0
+
+    def child_body(env, program):
+        env.mem_write(program.shared_addr, b"CLOBBER!")
+        observed["child_saw"] = env.mem_read(program.shared_addr, 8)
+        yield from env.sys_exit(0)
+
+    _, program = run_script(native_system, body, child_body=child_body)
+    assert observed["child_saw"] == b"CLOBBER!"
+    assert program.result == b"original"
+
+
+def test_wait_with_no_children_echild(native_system):
+    def body(env, program):
+        pid, _ = yield from env.sys_wait4()
+        program.result = pid
+        return 0
+
+    _, program = run_script(native_system, body)
+    assert program.result == -ERRNO["ECHILD"]
+
+
+def test_wait_blocks_until_child_exits(native_system):
+    def body(env, program):
+        child = yield from env.sys_fork()
+        pid, status = yield from env.sys_wait4(child)
+        program.result = (pid, status)
+        return 0
+
+    def child_body(env, program):
+        # Do a bit of work so the parent genuinely blocks first.
+        for _ in range(5):
+            yield from env.sys_sched_yield()
+        yield from env.sys_exit(3)
+
+    _, program = run_script(native_system, body, child_body=child_body)
+    assert program.result[1] == 3
+
+
+# -- exec -----------------------------------------------------------------------------
+
+class Greeter(Program):
+    program_id = "greeter"
+
+    def main(self, env):
+        env.malloc_init(use_ghost=False)
+        heap = env.heap
+        buf = heap.store(b"greetings")
+        fd = yield from env.sys_open("/greeting.txt", O_WRONLY | O_CREAT)
+        yield from env.sys_write(fd, buf, 9)
+        yield from env.sys_close(fd)
+        return 5
+
+
+def test_execve_replaces_program(any_system):
+    any_system.install("/bin/greeter", Greeter())
+
+    def body(env, program):
+        yield from env.sys_execve("/bin/greeter")
+        raise AssertionError("unreachable after exec")
+
+    status, _ = run_script(any_system, body)
+    assert status == 5
+    assert any_system.read_file("/greeting.txt") == b"greetings"
+
+
+def test_execve_missing_program(native_system):
+    def body(env, program):
+        program.result = yield from env.sys_execve("/bin/nothing")
+        return 0
+
+    _, program = run_script(native_system, body)
+    assert program.result == -ERRNO["ENOENT"]
+
+
+def test_fork_then_exec(any_system):
+    any_system.install("/bin/greeter", Greeter())
+
+    def body(env, program):
+        child = yield from env.sys_fork()
+        pid, status = yield from env.sys_wait4(child)
+        program.result = status
+        return 0
+
+    def child_body(env, program):
+        yield from env.sys_execve("/bin/greeter")
+
+    _, program = run_script(any_system, body, child_body=child_body)
+    assert program.result == 5
+
+
+# -- signals ---------------------------------------------------------------------------
+
+def test_signal_handler_runs_and_program_continues(any_system):
+    def handler(env, signum):
+        env.proc.handled = getattr(env.proc, "handled", 0) + 1
+        return 0
+        yield
+
+    def body(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        yield from wrappers.signal(SIGUSR1, handler)
+        pid = yield from env.sys_getpid()
+        yield from env.sys_kill(pid, SIGUSR1)
+        yield from env.sys_kill(pid, SIGUSR1)
+        program.result = env.proc.handled
+        return 0
+
+    _, program = run_script(any_system, body)
+    assert program.result == 2
+
+
+def test_nested_syscall_inside_handler(any_system):
+    def handler(env, signum):
+        heap = env.heap
+        buf = heap.store(b"from handler")
+        fd = yield from env.sys_open("/sig.txt", O_WRONLY | O_CREAT)
+        yield from env.sys_write(fd, buf, 12)
+        yield from env.sys_close(fd)
+        return 0
+
+    def body(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        yield from wrappers.signal(SIGUSR2, handler)
+        pid = yield from env.sys_getpid()
+        yield from env.sys_kill(pid, SIGUSR2)
+        program.result = "done"
+        return 0
+
+    status, program = run_script(any_system, body)
+    assert status == 0 and program.result == "done"
+    assert any_system.read_file("/sig.txt") == b"from handler"
+
+
+def test_sig_ign_discards(any_system):
+    def body(env, program):
+        yield from env.sys_sigaction(SIGUSR1, SIG_IGN)
+        pid = yield from env.sys_getpid()
+        yield from env.sys_kill(pid, SIGUSR1)
+        program.result = "survived"
+        return 0
+
+    _, program = run_script(any_system, body)
+    assert program.result == "survived"
+
+
+def test_default_term_signal_kills(any_system):
+    def body(env, program):
+        pid = yield from env.sys_getpid()
+        yield from env.sys_kill(pid, SIGTERM)
+        program.result = "unreachable"
+        return 0
+
+    status, program = run_script(any_system, body)
+    assert status == 128 + SIGTERM
+    assert program.result is None
+
+
+def test_sigkill_always_kills(any_system):
+    def body(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        # even a registered handler cannot catch SIGKILL
+        yield from wrappers.signal(SIGKILL, lambda env, s: iter(()))
+        pid = yield from env.sys_getpid()
+        yield from env.sys_kill(pid, SIGKILL)
+        return 0
+
+    status, _ = run_script(any_system, body)
+    assert status == 128 + SIGKILL
+
+
+def test_kill_missing_process_esrch(native_system):
+    def body(env, program):
+        program.result = yield from env.sys_kill(4242, SIGUSR1)
+        return 0
+
+    _, program = run_script(native_system, body)
+    assert program.result == -ERRNO["ESRCH"]
+
+
+def test_signal_to_blocked_process_delivered(native_system):
+    """A process blocked in read() gets the signal and is terminated."""
+    def victim_body(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        r, w = yield from env.sys_pipe()
+        buf = heap.malloc(8)
+        program.victim_pid = yield from env.sys_getpid()
+        yield from env.sys_read(r, buf, 8)       # blocks forever
+        return 0
+
+    victim = ScriptProgram(victim_body)
+    install_program(native_system.kernel, "/bin/victim", victim)
+    proc = native_system.spawn("/bin/victim")
+    native_system.run(max_slices=10_000)
+    assert hasattr(victim, "victim_pid")
+    native_system.kernel.signals.post(proc, SIGTERM)
+    native_system.run(max_slices=10_000)
+    assert proc.is_zombie
+    assert proc.exit_status == 128 + SIGTERM
+
+
+def test_handler_installed_without_permit_is_refused_under_vg(vg_system):
+    """sigaction without sva.permitFunction: Virtual Ghost drops the
+    signal at delivery time and the process continues (paper 4.6.1)."""
+    def handler(env, signum):
+        env.proc.handled = True
+        return 0
+        yield
+
+    def body(env, program):
+        addr = env.register_handler(handler)
+        # note: NO env.permit_function(addr)
+        yield from env.sys_sigaction(SIGUSR1, addr)
+        pid = yield from env.sys_getpid()
+        yield from env.sys_kill(pid, SIGUSR1)
+        program.result = getattr(env.proc, "handled", False)
+        return 0
+
+    status, program = run_script(vg_system, body)
+    assert status == 0
+    assert program.result is False
+    assert vg_system.kernel.signals.refused_by_vg == 1

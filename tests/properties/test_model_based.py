@@ -1,0 +1,162 @@
+"""Property-based tests on core data structures and invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import VGConfig
+from repro.core.layout import (GHOST_END, GHOST_START, Region, classify,
+                               mask_address)
+from repro.hardware.clock import CycleClock
+from repro.hardware.memory import PAGE_SIZE, PhysicalMemory
+from repro.hardware.platform import Machine, MachineConfig
+from repro.kernel.context import KernelContext
+from repro.kernel.simplefs import SimpleFS
+from repro.kernel.vfs import VnodeType
+
+
+# -- physical memory vs a dict model -------------------------------------------------
+
+@given(st.lists(
+    st.tuples(st.integers(0, 8 * PAGE_SIZE - 64),
+              st.binary(min_size=1, max_size=64)),
+    min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_physical_memory_matches_flat_model(writes):
+    mem = PhysicalMemory(8)
+    model = bytearray(8 * PAGE_SIZE)
+    for addr, data in writes:
+        mem.write(addr, data)
+        model[addr:addr + len(data)] = data
+    for addr, data in writes:
+        assert mem.read(addr, len(data)) == bytes(
+            model[addr:addr + len(data)])
+
+
+# -- SimpleFS vs a dict-of-files model --------------------------------------------------
+
+@st.composite
+def fs_operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 25))):
+        kind = draw(st.sampled_from(
+            ["create", "write", "read", "unlink", "truncate"]))
+        name = f"f{draw(st.integers(0, 4))}"
+        if kind == "write":
+            offset = draw(st.integers(0, 3000))
+            data = draw(st.binary(min_size=1, max_size=600))
+            ops.append((kind, name, offset, data))
+        else:
+            ops.append((kind, name, None, None))
+    return ops
+
+
+@given(fs_operations())
+@settings(max_examples=40, deadline=None)
+def test_simplefs_matches_dict_model(ops):
+    machine = Machine(MachineConfig(disk_sectors=32768))
+    ctx = KernelContext(machine, VGConfig.native())
+    filesystem = SimpleFS(machine.disk, ctx)
+    filesystem.mkfs(num_inodes=64)
+    root = filesystem.mount()
+    model: dict[str, bytearray] = {}
+
+    for kind, name, offset, data in ops:
+        if kind == "create":
+            if name in model:
+                continue
+            root.create(name, VnodeType.REGULAR)
+            model[name] = bytearray()
+        elif kind == "write" and name in model:
+            vnode = root.lookup(name)
+            vnode.write(offset, data)
+            blob = model[name]
+            if len(blob) < offset + len(data):
+                blob.extend(bytes(offset + len(data) - len(blob)))
+            blob[offset:offset + len(data)] = data
+        elif kind == "read" and name in model:
+            vnode = root.lookup(name)
+            assert vnode.read(0, len(model[name]) + 10) \
+                == bytes(model[name])
+            assert vnode.size == len(model[name])
+        elif kind == "unlink" and name in model:
+            root.unlink(name)
+            del model[name]
+        elif kind == "truncate" and name in model:
+            root.lookup(name).truncate(0)
+            model[name] = bytearray()
+
+    assert sorted(root.entries()) == sorted(model)
+    for name, blob in model.items():
+        assert root.lookup(name).read(0, len(blob) + 1) == bytes(blob)
+
+
+# -- masking invariants over the whole 64-bit space ---------------------------------------
+
+@given(st.integers(GHOST_START, GHOST_END - 1))
+@settings(max_examples=100, deadline=None)
+def test_every_ghost_address_masks_out(addr):
+    assert classify(mask_address(addr)) == Region.DEAD
+
+
+@given(st.integers(0, GHOST_START - 1))
+@settings(max_examples=100, deadline=None)
+def test_mask_preserves_everything_below_ghost_except_sva(addr):
+    masked = mask_address(addr)
+    if classify(addr) == Region.SVA:
+        assert masked == 0
+    else:
+        assert masked == addr
+
+
+# -- clock accounting invariant ----------------------------------------------------------
+
+@given(st.lists(st.tuples(
+    st.sampled_from(["instr", "mem_access", "mask_check", "cfi_check",
+                     "trap_entry", "copy_per_word"]),
+    st.integers(0, 50)), max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_clock_total_equals_sum_of_kinds(charges):
+    clock = CycleClock()
+    for kind, units in charges:
+        clock.charge(kind, units)
+    assert clock.cycles == sum(clock.cycles_by_kind.values())
+    for kind, cycles in clock.cycles_by_kind.items():
+        assert cycles == clock.counters[kind] * getattr(clock.costs,
+                                                        kind)
+
+
+# -- ghost alloc/free invariant -------------------------------------------------------------
+
+@given(st.lists(st.sampled_from(["alloc", "free"]), min_size=1,
+                max_size=20))
+@settings(max_examples=20, deadline=None)
+def test_ghost_alloc_free_never_leaks_frames(script):
+    from repro.system import System
+    from tests.conftest import ScriptProgram
+
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+
+    def body(env, program):
+        held = []
+        for op in script:
+            if op == "alloc":
+                held.append(env.allocgm(1))
+            elif held:
+                env.freegm(held.pop(), 1)
+        program.held = len(held)
+        yield from env.sys_getpid()
+        return 0
+
+    program = ScriptProgram(body)
+    system.install("/bin/g", program)
+    proc = system.spawn("/bin/g")
+    available_mid = system.kernel.vmm.frames.available
+    system.run_until_exit(proc)
+    # after exit, every ghost frame (held or freed) is back with the OS
+    # and no frame remains classified as ghost
+    policy = system.kernel.vm.policy
+    from repro.core.mmu_policy import FrameKind
+    ghost_frames = [f for f, k in policy._frame_kinds.items()
+                    if k == FrameKind.GHOST]
+    assert ghost_frames == []

@@ -1,0 +1,266 @@
+"""The remaining section-2.2 attack vectors: MMU, DMA, interrupted state,
+Iago, and code modification."""
+
+import pytest
+
+from repro.attacks.code_patch import (exec_tampered_binary,
+                                      patch_translated_module)
+from repro.attacks.dma_attack import (dma_out_ghost_frame,
+                                      reconfigure_iommu_then_dma)
+from repro.attacks.iago import run_mmap_iago, run_random_iago
+from repro.attacks.icontext_attack import (overwrite_saved_pc,
+                                           read_saved_register)
+from repro.attacks.mmu_attack import (make_code_page_writable,
+                                      map_ghost_frame_into_kernel,
+                                      remap_ghost_vaddr)
+from repro.core.config import VGConfig
+from repro.core.layout import GHOST_START
+from repro.kernel.syscalls.table import SYS
+from repro.system import System
+from repro.userland.libc import O_RDONLY
+
+from tests.conftest import ScriptProgram
+
+SECRET = b"0123456789abcdef" * 4
+
+
+def _victim_with_ghost_secret(config):
+    system = System.create(config, memory_mb=48)
+
+    def body(env, program):
+        heap = env.malloc_init(use_ghost=env.ghost_available)
+        program.secret_addr = heap.store(SECRET)
+        yield from env.sys_sched_yield()
+        program.still_intact = (env.mem_read(program.secret_addr,
+                                             len(SECRET)) == SECRET)
+        return 0
+
+    program = ScriptProgram(body)
+    system.install("/bin/victim", program)
+    proc = system.spawn("/bin/victim")
+    system.run(until=lambda: hasattr(program, "secret_addr"),
+               max_slices=100_000)
+    return system, proc, program
+
+
+# -- MMU attacks ---------------------------------------------------------------------
+
+def test_mmu_ghost_frame_mapping_denied_under_vg():
+    system, proc, program = _victim_with_ghost_secret(
+        VGConfig.virtual_ghost())
+    result = map_ghost_frame_into_kernel(system.kernel, proc,
+                                         program.secret_addr)
+    assert result.denied
+    assert result.leaked == b""
+
+
+def test_mmu_ghost_frame_mapping_succeeds_on_native():
+    system, proc, program = _victim_with_ghost_secret(VGConfig.native())
+    result = map_ghost_frame_into_kernel(system.kernel, proc,
+                                         program.secret_addr)
+    assert not result.denied
+    assert result.leaked.startswith(SECRET[:64])
+
+
+def test_mmu_ghost_vaddr_remap_denied_under_vg():
+    system, proc, program = _victim_with_ghost_secret(
+        VGConfig.virtual_ghost())
+    attacker_frame = system.kernel.vmm.frames.alloc()
+    result = remap_ghost_vaddr(system.kernel, proc, attacker_frame)
+    assert result.denied
+
+
+def test_mmu_code_page_write_enable_denied_under_vg():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    kernel = system.kernel
+    # create a code page: map a frame, classify, then attack it
+    from repro.core.layout import KERNEL_HEAP_START
+    frame = kernel.vmm.frames.alloc()
+    vaddr = KERNEL_HEAP_START + 0x40_0000
+    kernel.vm.mmu_map_page(kernel.kernel_root, vaddr, frame,
+                           writable=False, user=False, executable=True)
+    kernel.vm.declare_code_frame(frame)
+    result = make_code_page_writable(kernel, frame, vaddr)
+    assert result.denied
+
+
+# -- DMA attacks ------------------------------------------------------------------------
+
+def test_dma_exfiltration_blocked_under_vg():
+    system, proc, program = _victim_with_ghost_secret(
+        VGConfig.virtual_ghost())
+    frame = system.kernel.vm.ghosts.frame_for(proc.pid,
+                                              program.secret_addr)
+    result = dma_out_ghost_frame(system.kernel, frame)
+    assert result.dma_blocked
+    assert result.leaked == b""
+
+
+def test_dma_exfiltration_succeeds_on_native():
+    system, proc, program = _victim_with_ghost_secret(VGConfig.native())
+    from repro.core.layout import page_of
+    frame = proc.aspace.resident[page_of(program.secret_addr)]
+    result = dma_out_ghost_frame(system.kernel, frame)
+    assert not result.dma_blocked
+    assert SECRET[:16] in result.leaked
+
+
+def test_iommu_reconfiguration_refused_under_vg():
+    system, proc, program = _victim_with_ghost_secret(
+        VGConfig.virtual_ghost())
+    frame = system.kernel.vm.ghosts.frame_for(proc.pid,
+                                              program.secret_addr)
+    result = reconfigure_iommu_then_dma(system.kernel, frame)
+    assert result.reconfig_blocked
+    assert result.dma_blocked
+
+
+# -- interrupted program state -------------------------------------------------------------
+
+def _trap_with_register_secret(config):
+    """Drive a process into a syscall with a secret in rbx; the attack
+    functions run while the trap is open (as a hooked handler would)."""
+    system = System.create(config, memory_mb=32)
+    observed = {}
+
+    def body(env, program):
+        env.set_register("rbx", 0x5EC4E7C0DE)
+        yield from env.sys_getpid()
+        program.resumed = True
+        return 0
+
+    program = ScriptProgram(body)
+    system.install("/bin/p", program)
+    proc = system.spawn("/bin/p")
+
+    # hook getpid to run the attack mid-trap
+    kernel = system.kernel
+    original = kernel.execute_syscall
+
+    def spying_execute(thread, request):
+        if request.number == SYS["getpid"] and "leak" not in observed:
+            kernel.current_thread = thread
+            kernel._load_syscall_regs(thread, request)
+            kernel.vm.trap_enter(thread.tid, __import__(
+                "repro.core.icontext",
+                fromlist=["TrapKind"]).TrapKind.SYSCALL, thread.uregs)
+            observed["leak"] = read_saved_register(kernel, thread, "rbx")
+            kernel.vm.trap_exit(thread.tid)
+        return original(thread, request)
+
+    kernel.execute_syscall = spying_execute
+    system.run_until_exit(proc, max_slices=100_000)
+    return observed["leak"]
+
+
+def test_saved_registers_readable_on_native():
+    assert _trap_with_register_secret(VGConfig.native()) == 0x5EC4E7C0DE
+
+
+def test_saved_registers_hidden_under_vg():
+    """With the IC in SVA memory, the kernel-stack location holds
+    nothing: the attacker reads zeros."""
+    assert _trap_with_register_secret(VGConfig.virtual_ghost()) == 0
+
+
+def _pc_rewrite(config):
+    system = System.create(config, memory_mb=32)
+    ran = {"injected": False}
+
+    def injected(env, *args):
+        ran["injected"] = True
+        return 0
+        yield
+
+    def body(env, program):
+        addr = env.proc.code_cursor          # predictable next address
+        env.proc.inject_code(addr, injected)
+        program.target = addr
+        yield from env.sys_sched_yield()
+        yield from env.sys_getpid()
+        program.done = True
+        return 0
+
+    program = ScriptProgram(body)
+    system.install("/bin/p", program)
+    proc = system.spawn("/bin/p")
+    system.run(until=lambda: hasattr(program, "target"),
+               max_slices=100_000)
+
+    kernel = system.kernel
+    original = kernel.execute_syscall
+
+    def tampering_execute(thread, request):
+        if request.number == SYS["getpid"]:
+            kernel.current_thread = thread
+            kernel._load_syscall_regs(thread, request)
+            from repro.core.icontext import TrapKind
+            kernel.vm.trap_enter(thread.tid, TrapKind.SYSCALL,
+                                 thread.uregs)
+            overwrite_saved_pc(kernel, thread, program.target)
+            result = 0
+            kernel.vm.icontext_set_retval(thread.tid, result)
+            ic = kernel.vm.trap_exit(thread.tid)
+            return kernel._resume_user(thread, ic, result)
+        return original(thread, request)
+
+    kernel.execute_syscall = tampering_execute
+    system.run_until_exit(proc, max_slices=100_000)
+    return ran["injected"]
+
+
+def test_pc_rewrite_hijacks_on_native():
+    assert _pc_rewrite(VGConfig.native()) is True
+
+
+def test_pc_rewrite_ineffective_under_vg():
+    """The kernel-stack IC is never reloaded under Virtual Ghost; the
+    rewrite changes nothing the hardware will use."""
+    assert _pc_rewrite(VGConfig.virtual_ghost()) is False
+
+
+# -- Iago attacks ---------------------------------------------------------------------------
+
+def test_mmap_iago_defeated_by_instrumented_app():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    result = run_mmap_iago(system.kernel, instrument=True)
+    assert result.ghost_write_prevented
+    assert result.used_pointer != result.returned_pointer
+
+
+def test_mmap_iago_succeeds_against_uninstrumented_app():
+    system = System.create(VGConfig.native(), memory_mb=32)
+    result = run_mmap_iago(system.kernel, instrument=False)
+    assert not result.ghost_write_prevented
+    assert result.used_pointer == result.returned_pointer
+
+
+def test_random_iago_defeated_by_sva_random():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    result = run_random_iago(system.kernel)
+    assert result.os_random_constant          # the OS rigged /dev/random
+    assert result.sva_random_unaffected       # the trusted RNG is fine
+
+
+# -- code modification -------------------------------------------------------------------------
+
+def test_patched_translation_rejected_under_vg():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    result = patch_translated_module(system.kernel)
+    assert result.tampered_translation_rejected
+
+
+def test_patched_translation_runs_on_native():
+    system = System.create(VGConfig.native(), memory_mb=32)
+    result = patch_translated_module(system.kernel)
+    assert not result.tampered_translation_rejected
+    assert result.observed_return == 666       # the patch took effect
+
+
+def test_tampered_exec_refused_under_vg():
+    from repro.userland.loader import install_tampered_program
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    install_tampered_program(system.kernel, "/bin/evil",
+                             ScriptProgram(lambda env, p: iter(())))
+    result = exec_tampered_binary(system.kernel, "/bin/evil")
+    assert result.exec_refused

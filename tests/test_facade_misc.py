@@ -1,0 +1,175 @@
+"""System facade, errors module, and miscellaneous seams."""
+
+import pytest
+
+from repro import System, VGConfig
+from repro.errors import (CFIViolation, SecurityViolation, SyscallError,
+                          TranslationFault)
+from repro.hardware.clock import CostModel
+from repro.kernel.vfs import VnodeType
+
+from tests.conftest import ScriptProgram, run_script
+
+
+# -- System facade ----------------------------------------------------------------
+
+def test_create_with_custom_sizing():
+    system = System.create(VGConfig.native(), memory_mb=16, disk_mb=8,
+                           serial=b"custom-box")
+    assert system.machine.phys.num_frames == 16 * 256
+    assert system.machine.disk.num_sectors == 8 * 2048
+
+
+def test_create_with_custom_costs():
+    costs = CostModel(instr=2)
+    system = System.create(VGConfig.native(), costs=costs)
+    assert system.machine.clock.costs.instr == 2
+
+
+def test_write_read_file_helpers(native_system):
+    native_system.write_file("/helper.txt", b"abc")
+    assert native_system.read_file("/helper.txt") == b"abc"
+    assert native_system.file_exists("/helper.txt")
+    assert not native_system.file_exists("/missing.txt")
+    # overwrite truncates
+    native_system.write_file("/helper.txt", b"Z")
+    assert native_system.read_file("/helper.txt") == b"Z"
+
+
+def test_write_file_into_subdirectory(native_system):
+    root = native_system.kernel.vfs.root
+    root.create("dir", VnodeType.DIRECTORY)
+    native_system.write_file("/dir/nested.txt", b"deep")
+    assert native_system.read_file("/dir/nested.txt") == b"deep"
+
+
+def test_elapsed_helpers(native_system):
+    mark = native_system.cycles
+    native_system.machine.clock.charge("instr", 3400)
+    assert native_system.elapsed_us(mark) == pytest.approx(1.0)
+    assert native_system.micros >= 1.0
+    assert native_system.elapsed_seconds(mark) == pytest.approx(1e-6)
+
+
+def test_console_property(native_system):
+    native_system.console.write("facade line")
+    assert native_system.machine.console.contains("facade line")
+
+
+def test_distinct_systems_have_distinct_keys():
+    a = System.create(VGConfig.virtual_ghost(), serial=b"machine-a")
+    b = System.create(VGConfig.virtual_ghost(), serial=b"machine-b")
+    assert a.kernel.vm.keys.public.n != b.kernel.vm.keys.public.n
+
+
+def test_spawn_unknown_path_rejected(native_system):
+    from repro.errors import KernelError
+    with pytest.raises(KernelError, match="no executable"):
+        native_system.spawn("/bin/ghost-in-the-machine")
+
+
+def test_double_boot_rejected(native_system):
+    from repro.errors import KernelError
+    with pytest.raises(KernelError, match="already booted"):
+        native_system.kernel.boot()
+
+
+# -- errors ------------------------------------------------------------------------------
+
+def test_translation_fault_message_fields():
+    fault = TranslationFault(0x1234, write=True, user=True, present=True)
+    assert fault.vaddr == 0x1234
+    text = str(fault)
+    assert "0x1234" in text and "write" in text and "user" in text
+
+
+def test_syscall_error_carries_errno():
+    err = SyscallError("ENOENT", "no such thing")
+    assert err.errno == "ENOENT"
+    assert "no such thing" in str(err)
+
+
+def test_exception_hierarchy():
+    assert issubclass(CFIViolation, SecurityViolation)
+    from repro.errors import ReproError, SignatureError
+    assert issubclass(SecurityViolation, ReproError)
+    assert issubclass(SignatureError, SecurityViolation)
+
+
+# -- VFS mounts --------------------------------------------------------------------------
+
+def test_longest_mount_prefix_wins(native_system):
+    from repro.kernel.devfs import DevNull
+
+    class FakeFS(DevNull):
+        vtype = VnodeType.DIRECTORY
+
+        def lookup(self, name):
+            return DevNull()
+
+    native_system.kernel.vfs.mount("/dev/special", FakeFS())
+    inner, _ = native_system.kernel.vfs.resolve("/dev/special/x")
+    # resolved through the deeper mount, not devfs
+    assert isinstance(inner, DevNull)
+    # and /dev itself still resolves through devfs
+    node, _ = native_system.kernel.vfs.resolve("/dev/null")
+    assert node is native_system.kernel.devfs.lookup("null")
+
+
+# -- wrapper edge cases ----------------------------------------------------------------------
+
+def test_wrapper_read_stops_at_eof(vg_system):
+    vg_system.write_file("/short.txt", b"tiny")
+
+    def body(env, program):
+        from repro.userland.wrappers import GhostWrappers
+        heap = env.malloc_init(use_ghost=True)
+        wrappers = GhostWrappers(env)
+        buf = heap.malloc(128)
+        fd = yield from env.sys_open("/short.txt")
+        got = yield from wrappers.read(fd, buf, 128)   # asks for more
+        yield from env.sys_close(fd)
+        program.result = (got, env.mem_read(buf, 4))
+        return 0
+
+    _, program = run_script(vg_system, body)
+    assert program.result == (4, b"tiny")
+
+
+def test_malloc_free_null_is_noop(native_system):
+    def body(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        heap.free(0, 64)                 # free(NULL)
+        program.result = heap.freed
+        return 0
+        yield
+
+    _, program = run_script(native_system, body)
+    assert program.result == 0
+
+
+def test_mem_read_cstr(native_system):
+    def body(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        addr = heap.store(b"a c string\x00garbage")
+        program.result = env.mem_read_cstr(addr, 64)
+        return 0
+        yield
+
+    _, program = run_script(native_system, body)
+    assert program.result == b"a c string"
+
+
+# -- trap statistics -----------------------------------------------------------------------------
+
+def test_vm_trap_statistics(any_system):
+    def body(env, program):
+        for _ in range(5):
+            yield from env.sys_getpid()
+        return 0
+
+    before = any_system.kernel.vm.stats["syscalls"]
+    run_script(any_system, body)
+    assert any_system.kernel.vm.stats["syscalls"] >= before + 5
+    assert any_system.kernel.vm.stats["traps"] >= \
+        any_system.kernel.vm.stats["syscalls"]

@@ -1,0 +1,273 @@
+"""The ported application suite: ssh-keygen, ssh-agent, ssh, sshd, thttpd."""
+
+import pytest
+
+from repro.core.config import VGConfig
+from repro.crypto.signing import authenticated_decrypt
+from repro.system import System
+from repro.userland.apps.ssh import RemoteSshServer, SshClient
+from repro.userland.apps.ssh_agent import (AGENT_PORT, SECRET_STRING,
+                                           SshAgent)
+from repro.userland.apps.ssh_keygen import SshKeygen
+from repro.userland.apps.sshd import SSHD_PORT, RemoteScpClient, SshServer
+from repro.userland.apps.sshkeys import (deserialize_private,
+                                         deserialize_public,
+                                         generate_auth_key,
+                                         serialize_private,
+                                         serialize_public)
+from repro.userland.apps.thttpd import HTTP_PORT, HttpClient, ThttpdServer
+from repro.userland.loader import derive_app_key
+from repro.userland.wrappers import GhostWrappers
+
+from tests.conftest import ScriptProgram
+
+SUITE_KEY = derive_app_key("test-openssh")
+
+
+@pytest.fixture
+def suite():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=48)
+    keygen = SshKeygen()
+    agent = SshAgent()
+    client = SshClient(ghosting=True)
+    system.install("/bin/ssh-keygen", keygen, app_key=SUITE_KEY)
+    system.install("/bin/ssh-agent", agent, app_key=SUITE_KEY)
+    system.install("/bin/ssh", client, app_key=SUITE_KEY)
+    return system, keygen, agent, client
+
+
+# -- key formats -----------------------------------------------------------------
+
+def test_auth_key_serialization_roundtrip():
+    keypair = generate_auth_key(b"seed")
+    restored = deserialize_private(serialize_private(keypair))
+    assert restored.public.n == keypair.public.n
+    signature = restored.sign(b"challenge")
+    assert keypair.public.verify(b"challenge", signature)
+
+
+def test_public_key_serialization_roundtrip():
+    keypair = generate_auth_key(b"seed2")
+    public = deserialize_public(serialize_public(keypair.public))
+    assert public.n == keypair.public.n
+
+
+def test_bad_blob_rejected():
+    with pytest.raises(ValueError):
+        deserialize_private(b"JUNKJUNK")
+    with pytest.raises(ValueError):
+        deserialize_public(b"JUNKJUNK")
+
+
+# -- ssh-keygen -------------------------------------------------------------------
+
+def test_keygen_writes_encrypted_private_and_plain_public(suite):
+    system, keygen, *_ = suite
+    proc = system.spawn("/bin/ssh-keygen", argv=("/id_rsa",))
+    assert system.run_until_exit(proc) == 0
+
+    private_raw = system.read_file("/id_rsa")
+    assert b"PRIV" not in private_raw          # ciphertext on disk
+    decrypted = authenticated_decrypt(SUITE_KEY, private_raw,
+                                      aad=b"/id_rsa")
+    keypair = deserialize_private(decrypted)
+
+    public_raw = system.read_file("/id_rsa.pub")
+    public = deserialize_public(public_raw)
+    assert public.n == keypair.public.n        # matching pair
+
+
+def test_keygen_uses_trusted_randomness(suite):
+    system, *_ = suite
+    # rig the OS randomness: keys must be unaffected (sva_random used)
+    system.kernel.devfs.random.subversion = lambda n: bytes(n)
+    proc = system.spawn("/bin/ssh-keygen", argv=("/id_a",))
+    assert system.run_until_exit(proc) == 0
+    decrypted = authenticated_decrypt(SUITE_KEY,
+                                      system.read_file("/id_a"),
+                                      aad=b"/id_a")
+    keypair = deserialize_private(decrypted)
+    assert keypair.public.n.bit_length() > 500   # a real key, not junk
+
+
+# -- ssh-agent ---------------------------------------------------------------------
+
+def _drive_agent(system, agent, requests):
+    """Spawn the agent plus a driver process issuing requests."""
+    agent_proc = system.spawn("/bin/ssh-agent", argv=("/id_rsa",))
+
+    replies = []
+
+    def driver_body(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        for request, reply_len in requests:
+            fd = yield from env.sys_connect("localhost", AGENT_PORT)
+            yield from wrappers.write_bytes(fd, request)
+            if reply_len:
+                replies.append((yield from wrappers.read_bytes(
+                    fd, reply_len)))
+            yield from env.sys_close(fd)
+        return 0
+
+    system.install("/bin/driver", ScriptProgram(driver_body),
+                   app_key=SUITE_KEY)
+    driver_proc = system.spawn("/bin/driver")
+    system.run_until_exit(driver_proc)
+    system.run_until_exit(agent_proc)
+    return replies
+
+
+def test_agent_loads_keys_and_signs(suite):
+    system, keygen, agent, _ = suite
+    proc = system.spawn("/bin/ssh-keygen", argv=("/id_rsa",))
+    system.run_until_exit(proc)
+
+    challenge = b"\x55" * 32
+    replies = _drive_agent(system, agent, [
+        (b"PING", 4),
+        (b"SIGN" + challenge, 64),
+        (b"STOP", 0),
+    ])
+    assert agent.keys_loaded == 1
+    assert replies[0] == b"PONG"
+
+    # verify the signature against the public key on disk
+    public = deserialize_public(system.read_file("/id_rsa.pub"))
+    assert public.verify(challenge, replies[1])
+    assert agent.signatures_served == 1
+
+
+def test_agent_secret_lives_in_ghost_memory(suite):
+    system, keygen, agent, _ = suite
+    proc = system.spawn("/bin/ssh-keygen", argv=("/id_rsa",))
+    system.run_until_exit(proc)
+    agent_proc = system.spawn("/bin/ssh-agent", argv=("/id_rsa",))
+    system.run(max_slices=100_000)
+    assert agent.secret_addr
+    from repro.core.layout import Region, classify
+    assert classify(agent.secret_addr) == Region.GHOST
+    # kernel-side read of the secret address is masked away
+    leaked = system.kernel.ctx.read_virt(agent.secret_addr,
+                                         len(SECRET_STRING))
+    assert leaked == bytes(len(SECRET_STRING))
+
+
+# -- ssh client <-> remote server -----------------------------------------------------
+
+def test_ssh_client_authenticates_and_downloads(suite):
+    system, keygen, agent, client = suite
+    proc = system.spawn("/bin/ssh-keygen", argv=("/id_rsa",))
+    system.run_until_exit(proc)
+
+    contents = bytes(range(256)) * 128       # 32 KiB
+    server = RemoteSshServer({"file.bin": contents})
+    server.client_public = deserialize_public(
+        system.read_file("/id_rsa.pub"))
+    system.kernel.net.register_remote_service("remote", 22,
+                                              lambda: server)
+    proc = system.spawn("/bin/ssh",
+                        argv=("remote", 22, "file.bin", "/id_rsa"))
+    assert system.run_until_exit(proc, max_slices=2_000_000) == 0
+    assert client.auth_ok
+    assert client.bytes_received == len(contents)
+    assert server.auth_failures == 0
+
+
+def test_ssh_server_rejects_wrong_key(suite):
+    system, keygen, agent, client = suite
+    proc = system.spawn("/bin/ssh-keygen", argv=("/id_rsa",))
+    system.run_until_exit(proc)
+    server = RemoteSshServer({"f": b"data"})
+    server.client_public = generate_auth_key(b"other").public
+    system.kernel.net.register_remote_service("remote", 22,
+                                              lambda: server)
+    proc = system.spawn("/bin/ssh", argv=("remote", 22, "f", "/id_rsa"))
+    status = system.run_until_exit(proc, max_slices=2_000_000)
+    assert status != 0
+    assert server.auth_failures == 1
+
+
+# -- sshd ---------------------------------------------------------------------------------
+
+def test_sshd_serves_remote_scp_client(any_system):
+    contents = b"served bytes " * 1000
+    any_system.write_file("/pub.bin", contents)
+    server = SshServer()
+    any_system.install("/bin/sshd", server, app_key=SUITE_KEY)
+    proc = any_system.spawn("/bin/sshd")
+    any_system.run(max_slices=100_000)
+    assert server.running
+
+    scp = RemoteScpClient("/pub.bin", signer=None)
+    any_system.kernel.net.remote_connect(SSHD_PORT, scp)
+    any_system.run(until=lambda: scp.done, max_slices=2_000_000)
+    assert scp.bytes_received == len(contents)
+    assert server.transfers_served == 1
+
+
+def test_sshd_missing_file_sends_zero_length(any_system):
+    server = SshServer()
+    any_system.install("/bin/sshd", server, app_key=SUITE_KEY)
+    any_system.spawn("/bin/sshd")
+    any_system.run(max_slices=100_000)
+    scp = RemoteScpClient("/absent.bin", signer=None)
+    any_system.kernel.net.remote_connect(SSHD_PORT, scp)
+    any_system.run(until=lambda: scp.expected is not None,
+                   max_slices=1_000_000)
+    assert scp.expected == 0
+
+
+# -- thttpd ----------------------------------------------------------------------------------
+
+def test_thttpd_serves_http(any_system):
+    contents = b"<html>hi</html>"
+    any_system.write_file("/index.html", contents)
+    server = ThttpdServer()
+    any_system.install("/bin/thttpd", server)
+    proc = any_system.spawn("/bin/thttpd")
+    any_system.run(max_slices=100_000)
+    assert server.running
+
+    client = HttpClient("/index.html")
+    any_system.kernel.net.remote_connect(HTTP_PORT, client)
+    any_system.run(until=lambda: client.done, max_slices=1_000_000)
+    assert client.content_length == len(contents)
+    assert client.bytes_received == len(contents)
+    assert server.requests_served == 1
+
+
+def test_thttpd_404_for_missing_file(any_system):
+    server = ThttpdServer()
+    any_system.install("/bin/thttpd", server)
+    any_system.spawn("/bin/thttpd")
+    any_system.run(max_slices=100_000)
+
+    responses = []
+
+    class Raw404Client:
+        done = False
+
+        def on_connect(self, conn):
+            conn.peer_send(b"GET /missing HTTP/1.0\r\n\r\n")
+
+        def on_data(self, conn, data):
+            responses.append(data)
+
+        def on_close(self, conn):
+            pass
+
+    any_system.kernel.net.remote_connect(HTTP_PORT, Raw404Client())
+    any_system.run(until=lambda: responses, max_slices=1_000_000)
+    assert b"404" in b"".join(responses)
+
+
+def test_thttpd_shutdown_request(any_system):
+    server = ThttpdServer()
+    any_system.install("/bin/thttpd", server)
+    proc = any_system.spawn("/bin/thttpd")
+    any_system.run(max_slices=100_000)
+    client = HttpClient("/__shutdown__")
+    any_system.kernel.net.remote_connect(HTTP_PORT, client)
+    any_system.run_until_exit(proc, max_slices=1_000_000)
+    assert not server.running

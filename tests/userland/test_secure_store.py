@@ -1,0 +1,161 @@
+"""SecureStore: rollback-protected encrypted files (future work #1)."""
+
+import pytest
+
+from repro.userland.loader import derive_app_key
+from repro.userland.secure_store import SecureStore
+from repro.userland.wrappers import GhostWrappers
+
+from tests.conftest import ScriptProgram
+
+KEY = derive_app_key("secure-store")
+
+
+def _run(vg_system, script):
+    """script(env, store, out) is a generator body using a SecureStore."""
+    out = {}
+
+    def body(env, program):
+        env.malloc_init(use_ghost=True)
+        wrappers = GhostWrappers(env)
+        store = SecureStore(env, wrappers, KEY)
+        program.store = store
+        yield from script(env, store, out)
+        return 0
+
+    program = ScriptProgram(body)
+    vg_system.install("/bin/store", program)
+    proc = vg_system.spawn("/bin/store")
+    status = vg_system.run_until_exit(proc, max_slices=2_000_000)
+    assert status == 0
+    return out, program.store
+
+
+def test_save_load_roundtrip(vg_system):
+    def script(env, store, out):
+        yield from store.save("/doc", b"version one")
+        out["loaded"] = yield from store.load("/doc")
+        out["version"] = store.version_of("/doc")
+
+    out, _ = _run(vg_system, script)
+    assert out["loaded"] == b"version one"
+    assert out["version"] == 1
+
+
+def test_versions_increment_and_latest_wins(vg_system):
+    def script(env, store, out):
+        yield from store.save("/doc", b"v1")
+        yield from store.save("/doc", b"v2")
+        yield from store.save("/doc", b"v3")
+        out["loaded"] = yield from store.load("/doc")
+        out["version"] = store.version_of("/doc")
+
+    out, _ = _run(vg_system, script)
+    assert out["loaded"] == b"v3"
+    assert out["version"] == 3
+
+
+def test_replay_of_old_version_rejected(vg_system):
+    """The OS substitutes a perfectly-MACed *old* file: detected."""
+    def script(env, store, out):
+        yield from store.save("/doc", b"old secret")
+        vnode, _ = env.kernel.vfs.resolve("/doc")
+        out["old_payload"] = vnode.read(0, vnode.size)
+        yield from store.save("/doc", b"new secret")
+        # the hostile OS rolls the file back to the previous version
+        vnode.truncate(0)
+        vnode.write(0, out["old_payload"])
+        out["loaded"] = yield from store.load("/doc")
+
+    out, store = _run(vg_system, script)
+    assert out["loaded"] is None
+    assert store.replays_detected == 1
+
+
+def test_cross_path_replay_rejected(vg_system):
+    """A blob copied from another path fails its AAD binding."""
+    def script(env, store, out):
+        yield from store.save("/a", b"contents of a")
+        yield from store.save("/b", b"contents of b")
+        vnode_a, _ = env.kernel.vfs.resolve("/a")
+        vnode_b, _ = env.kernel.vfs.resolve("/b")
+        stolen = vnode_a.read(0, vnode_a.size)
+        vnode_b.truncate(0)
+        vnode_b.write(0, stolen)
+        out["loaded_b"] = yield from store.load("/b")
+
+    out, _ = _run(vg_system, script)
+    assert out["loaded_b"] is None
+
+
+def test_corruption_rejected(vg_system):
+    def script(env, store, out):
+        yield from store.save("/doc", b"data")
+        vnode, _ = env.kernel.vfs.resolve("/doc")
+        raw = bytearray(vnode.read(0, vnode.size))
+        raw[-1] ^= 1
+        vnode.truncate(0)
+        vnode.write(0, bytes(raw))
+        out["loaded"] = yield from store.load("/doc")
+
+    out, _ = _run(vg_system, script)
+    assert out["loaded"] is None
+
+
+def test_missing_file_returns_none(vg_system):
+    def script(env, store, out):
+        out["loaded"] = yield from store.load("/never-written")
+
+    out, _ = _run(vg_system, script)
+    assert out["loaded"] is None
+
+
+def test_table_mirrors_into_ghost_page(vg_system):
+    def script(env, store, out):
+        yield from store.save("/x", b"1")
+        yield from store.save("/y", b"2")
+        yield from store.save("/x", b"3")
+        # clobber the python dict, recover from the ghost copy
+        store._versions = {}
+        store.reload_table_from_ghost()
+        out["x"] = store.version_of("/x")
+        out["y"] = store.version_of("/y")
+        out["page_region"] = store._table_page
+
+    out, _ = _run(vg_system, script)
+    assert out["x"] == 2 and out["y"] == 1
+    from repro.core.layout import Region, classify
+    assert classify(out["page_region"]) == Region.GHOST
+
+
+def test_kernel_cannot_read_counter_table(vg_system):
+    def script(env, store, out):
+        yield from store.save("/x", b"1")
+        out["page"] = store._table_page
+
+    out, _ = _run_but_keep_alive(vg_system, script)
+
+
+def _run_but_keep_alive(vg_system, script):
+    """Variant keeping the process alive to probe its ghost table."""
+    out = {}
+
+    def body(env, program):
+        env.malloc_init(use_ghost=True)
+        wrappers = GhostWrappers(env)
+        store = SecureStore(env, wrappers, KEY)
+        yield from script(env, store, out)
+        program.ready = True
+        yield from env.sys_sched_yield()
+        return 0
+
+    program = ScriptProgram(body)
+    vg_system.install("/bin/store2", program)
+    proc = vg_system.spawn("/bin/store2")
+    vg_system.run(until=lambda: getattr(program, "ready", False),
+                  max_slices=2_000_000)
+    # kernel-side read of the counter table: masked to nothing
+    leaked = vg_system.kernel.ctx.read_virt(out["page"], 64)
+    assert leaked == bytes(64)
+    vg_system.run_until_exit(proc)
+    return out, None

@@ -1,0 +1,150 @@
+"""Workload drivers and the analysis/baseline helpers (small parameters;
+full sweeps live in benchmarks/)."""
+
+import pytest
+
+from repro.analysis.results import Table, format_table, percent_reduction, ratio
+from repro.analysis.tcb import (count_tcb_sloc, count_untrusted_sloc)
+from repro.baselines.inktag import InkTagModel, InkTagParams, RunMetrics
+from repro.core.config import VGConfig
+from repro.workloads.files import run_file_churn
+from repro.workloads.lmbench import LMBench
+from repro.workloads.postmark import run_postmark
+from repro.workloads.ssh_transfer import (run_ssh_client_bandwidth,
+                                          run_sshd_bandwidth)
+from repro.workloads.webserver import make_random_file, run_thttpd_bandwidth
+
+
+def test_lmbench_single_bench_runs():
+    result = LMBench(VGConfig.native(), iterations=20).run_one(
+        "null_syscall")
+    assert result.ops == 20
+    assert result.us_per_op > 0
+    assert result.metrics.count("trap_entry") >= 20
+
+
+def test_lmbench_page_fault_counts_faults():
+    result = LMBench(VGConfig.native(), iterations=64).run_one(
+        "page_fault")
+    assert result.page_faults >= 64
+
+
+def test_file_churn_counts_and_rates():
+    result = run_file_churn(VGConfig.native(), size=1024, count=10)
+    assert result.created_per_sec > 0
+    assert result.deleted_per_sec > 0
+    assert result.create_metrics.cycles > 0
+
+
+def test_file_churn_vg_slower():
+    native = run_file_churn(VGConfig.native(), size=0, count=10)
+    vg = run_file_churn(VGConfig.virtual_ghost(), size=0, count=10)
+    assert vg.created_per_sec < native.created_per_sec
+    assert vg.deleted_per_sec < native.deleted_per_sec
+
+
+def test_thttpd_bandwidth_positive_and_size_scaling():
+    small = run_thttpd_bandwidth(VGConfig.native(), size=1024, requests=3)
+    large = run_thttpd_bandwidth(VGConfig.native(), size=65536,
+                                 requests=3)
+    assert small.kb_per_sec > 0
+    assert large.kb_per_sec > small.kb_per_sec   # fixed costs amortize
+
+
+def test_sshd_bandwidth_runs():
+    point = run_sshd_bandwidth(VGConfig.native(), size=8192, transfers=2)
+    assert point.kb_per_sec > 0
+
+
+def test_ghosting_client_close_to_plain():
+    plain = run_ssh_client_bandwidth(VGConfig.virtual_ghost(), size=32768,
+                                     ghosting=False, transfers=2)
+    ghost = run_ssh_client_bandwidth(VGConfig.virtual_ghost(), size=32768,
+                                     ghosting=True, transfers=2)
+    reduction = percent_reduction(ghost.kb_per_sec, plain.kb_per_sec)
+    assert reduction < 10.0          # paper: max 5%
+
+
+def test_postmark_runs_and_is_deterministic():
+    a = run_postmark(VGConfig.native(), transactions=40)
+    b = run_postmark(VGConfig.native(), transactions=40)
+    assert a.seconds == b.seconds
+    assert a.files_created == b.files_created > 0
+    assert a.bytes_read > 0 and a.bytes_written > 0
+
+
+def test_postmark_vg_slower():
+    native = run_postmark(VGConfig.native(), transactions=40)
+    vg = run_postmark(VGConfig.virtual_ghost(), transactions=40)
+    assert vg.seconds > native.seconds * 2
+
+
+def test_make_random_file_deterministic():
+    assert make_random_file(128) == make_random_file(128)
+    assert make_random_file(128) != make_random_file(128, b"other")
+
+
+# -- InkTag model -------------------------------------------------------------------
+
+def test_inktag_overheads_scale_with_events():
+    model = InkTagModel()
+    quiet = RunMetrics(cycles=10_000, counters={"trap_entry": 1})
+    busy = RunMetrics(cycles=10_000, counters={"trap_entry": 50})
+    assert model.estimate_cycles(busy) > model.estimate_cycles(quiet)
+
+
+def test_inktag_null_syscall_band():
+    """Null syscalls must be tens-of-x on InkTag (paper: 55.8x)."""
+    native = LMBench(VGConfig.native(), iterations=30).run_one(
+        "null_syscall")
+    slowdown = InkTagModel().slowdown(native.metrics)
+    assert 30 < slowdown < 90
+
+
+def test_inktag_page_fault_cost():
+    model = InkTagModel(InkTagParams(per_page_fault=1000))
+    metrics = RunMetrics(cycles=1000, counters={})
+    assert model.estimate_with_faults(metrics, 5) == 1000 + 5000
+
+
+def test_run_metrics_capture():
+    from repro.hardware.clock import CycleClock
+    clock = CycleClock()
+    clock.charge("instr", 5)
+    start_cycles, start_counters = clock.cycles, clock.snapshot()
+    clock.charge("instr", 3)
+    clock.charge("mem_access", 2)
+    metrics = RunMetrics.capture(clock, start_cycles, start_counters)
+    assert metrics.count("instr") == 3
+    assert metrics.count("mem_access") == 2
+
+
+# -- analysis helpers ------------------------------------------------------------------
+
+def test_ratio_and_reduction():
+    assert ratio(20, 10) == 2.0
+    assert ratio(5, 0) == float("inf")
+    assert percent_reduction(50, 100) == pytest.approx(50.0)
+    assert percent_reduction(100, 100) == pytest.approx(0.0)
+
+
+def test_table_rendering():
+    table = Table(title="Demo", headers=["name", "value"])
+    table.add("alpha", 1.5)
+    table.add("beta", 12345.0)
+    rendered = table.render()
+    assert "Demo" in rendered and "alpha" in rendered
+    assert "12,345" in rendered
+
+
+def test_format_table_helper():
+    rendered = format_table("T", ["a"], [["x"], ["y"]])
+    assert rendered.count("\n") >= 3
+
+
+def test_tcb_accounting():
+    tcb = count_tcb_sloc()
+    untrusted = count_untrusted_sloc()
+    assert tcb["total"] > 1000
+    assert untrusted["total"] > tcb["total"]      # kernel+apps dwarf TCB
+    assert "core" in tcb
