@@ -1,0 +1,202 @@
+"""Host wall-clock smoke: the fast interpreter tier must actually be fast.
+
+All simulated numbers are tier-independent (that is what the equivalence
+suite proves); this benchmark checks the *host-side* point of the fast
+tier -- that predecoded closures plus batched cycle accounting beat the
+reference string-dispatch loop by a healthy margin on instrumented
+module code.
+
+The timed workload is a fully instrumented (Virtual Ghost configuration:
+``vgmask`` sandboxing + CFI) kernel module spinning a load/store/
+arithmetic/call loop -- module code is the only code that runs *on* the
+interpreter, so it is the only place an interpreter tier can matter.
+LMBench probes exercise Python kernel paths, not interpreted code; a
+fixed LMBench slice is still timed in both tiers and recorded, but as
+context only (expect ~1x there, by design).
+
+Exit status is the CI gate: non-zero if the fast tier is not at least
+``REPRO_WALLCLOCK_MIN`` (default 3.0) times faster than the reference
+tier on the module workload, or if the two tiers disagree on any
+simulated number.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py \
+        --out results/BENCH_wallclock.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.core.config import VGConfig
+from repro.system import System
+from repro.workloads.lmbench import LMBench
+
+MODULE_SOURCE = """
+module wallclock
+
+global @buf 4096
+
+func @inner(%x) {
+entry:
+  %a = and %x, 4088
+  %p = add @buf, %a
+  store8 %x, %p
+  %v = load8 %p
+  %h = mul %v, 2654435761
+  %h = xor %h, %x
+  %h = lshr %h, 13
+  %h = add %h, %v
+  %a2 = and %h, 4088
+  %q = add @buf, %a2
+  store8 %h, %q
+  %w = load8 %q
+  %h = xor %h, %w
+  %h = mul %h, 31
+  %h = add %h, %w
+  %h = xor %h, 0x9e3779b97f4a7c15
+  %h = lshr %h, 7
+  %h = mul %h, 0xc2b2ae3d27d4eb4f
+  %h = xor %h, %x
+  %h = shl %h, 3
+  %h = or %h, %v
+  %h = sub %h, %w
+  %h = and %h, 0xffffffffffff
+  %h = add %h, %v
+  %c = icmp ult %h, %v
+  %h = select %c, %h, %v
+  %r = xor %h, %x
+  ret %r
+}
+
+func @spin(%n) {
+entry:
+  %i = mov 0
+  %acc = mov 0
+  br loop
+loop:
+  %c = icmp ult %i, %n
+  condbr %c, body, done
+body:
+  %r = call @inner(%i)
+  %acc = add %acc, %r
+  %acc = and %acc, 0xffffffff
+  %i = add %i, 1
+  br loop
+done:
+  ret %acc
+}
+"""
+
+
+def _time_module(reference: bool, spins: int) -> dict:
+    """Boot a system, load the instrumented module, time @spin."""
+    system = System.create(VGConfig.virtual_ghost())
+    module = system.kernel.loader.load(MODULE_SOURCE)
+    module.interpreter.reference = reference
+    clock = system.machine.clock
+    start_cycles = clock.cycles
+    start_counters = dict(clock.counters)
+    started = time.perf_counter()
+    value = module.call("spin", [spins])
+    wall = time.perf_counter() - started
+    return {
+        "wall_seconds": wall,
+        "return_value": value,
+        "cycles": clock.cycles - start_cycles,
+        "counters": {k: clock.counters[k] - start_counters.get(k, 0)
+                     for k in clock.counters},
+        "steps": module.interpreter.steps_executed,
+    }
+
+
+def _time_lmbench_slice(reference: bool, iterations: int) -> float:
+    """Fixed LMBench slice (context only: no interpreted code runs)."""
+    os.environ["REPRO_INTERP_TIER"] = ("reference" if reference else "")
+    try:
+        started = time.perf_counter()
+        LMBench(VGConfig.virtual_ghost(),
+                iterations=iterations).run_one("null_syscall")
+        return time.perf_counter() - started
+    finally:
+        os.environ.pop("REPRO_INTERP_TIER", None)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="bench_wallclock")
+    parser.add_argument("--spins", type=int, default=20_000,
+                        help="module loop iterations per timed run")
+    parser.add_argument("--lmbench-iterations", type=int, default=30)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed repeats per tier (best is kept)")
+    parser.add_argument("--out", default="results/BENCH_wallclock.json")
+    args = parser.parse_args(argv)
+
+    minimum = float(os.environ.get("REPRO_WALLCLOCK_MIN", "3.0"))
+
+    fast_runs = [_time_module(False, args.spins)
+                 for _ in range(args.repeats)]
+    reference_runs = [_time_module(True, args.spins)
+                      for _ in range(args.repeats)]
+    fast = min(fast_runs, key=lambda r: r["wall_seconds"])
+    reference = min(reference_runs, key=lambda r: r["wall_seconds"])
+
+    equivalent = all(fast[k] == reference[k] for k in
+                     ("return_value", "cycles", "counters", "steps"))
+    speedup = (reference["wall_seconds"] / fast["wall_seconds"]
+               if fast["wall_seconds"] else float("inf"))
+
+    lmbench_fast = _time_lmbench_slice(False, args.lmbench_iterations)
+    lmbench_reference = _time_lmbench_slice(True, args.lmbench_iterations)
+
+    document = {
+        "meta": {
+            "spins": args.spins,
+            "repeats": args.repeats,
+            "minimum_speedup": minimum,
+            "lmbench_iterations": args.lmbench_iterations,
+        },
+        "results": {
+            "fast_wall_seconds": round(fast["wall_seconds"], 6),
+            "reference_wall_seconds": round(
+                reference["wall_seconds"], 6),
+            "speedup": round(speedup, 3),
+            "simulated_equivalent": equivalent,
+            "simulated_cycles": fast["cycles"],
+            "interpreter_steps": fast["steps"],
+            # context only -- LMBench runs no interpreted code, so the
+            # tiers are expected to tie here:
+            "lmbench_slice_fast_seconds": round(lmbench_fast, 6),
+            "lmbench_slice_reference_seconds": round(
+                lmbench_reference, 6),
+        },
+    }
+
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"fast tier:      {fast['wall_seconds']:.3f}s "
+          f"({fast['steps']} steps)")
+    print(f"reference tier: {reference['wall_seconds']:.3f}s")
+    print(f"speedup:        {speedup:.2f}x (gate: >= {minimum}x)")
+    print(f"simulated results identical: {equivalent}")
+
+    if not equivalent:
+        print("FAIL: tiers disagree on simulated results")
+        return 2
+    if speedup < minimum:
+        print("FAIL: fast tier below the wall-clock gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,14 +14,46 @@ as on real hardware -- which is what the CFI checks exist to stop:
 Uninstrumented ``ret``/``callind`` (native-baseline modules) perform no
 such checks; a wild target is then an ordinary crash (InterpreterError),
 or -- if the attacker aimed well -- a successful hijack.
+
+Two execution tiers
+-------------------
+
+The interpreter has two tiers producing **bit-identical simulated
+results** (return values, ``cycles``, ``counters``, ``cycles_by_kind``,
+``steps_executed``, error messages -- including every error path):
+
+* the **reference tier** (``reference=True``) dispatches each opcode
+  through a chain of string comparisons and charges the
+  :class:`~repro.hardware.clock.CycleClock` per primitive, exactly as the
+  original implementation did;
+
+* the **fast tier** (default) executes per-instruction closures bound
+  from the image's predecode stage
+  (:meth:`~repro.compiler.codegen.NativeImage.predecoded`): operand
+  accessors are resolved once to register slots or baked immediates,
+  registers live in flat lists, straight-line runs execute without any
+  dispatch, and cycle charges accumulate in per-kind counters settled via
+  ``CycleClock.charge_batch`` at *safepoints* -- before any extern call
+  (the only code that can observe the clock mid-run), on normal return,
+  and on every exception. Because every clock total is a sum of
+  ``units * cost``, deferring the bookkeeping never changes a simulated
+  number; ``tests/compiler/test_interp_equivalence.py`` diffs the two
+  tiers instruction-stream for instruction-stream.
+
+Set ``REPRO_INTERP_TIER=reference`` in the environment to force the
+reference tier globally (used by the wall-clock smoke benchmark).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
-from repro.compiler.codegen import NativeFunction, NativeImage
+from repro.compiler.codegen import (NativeFunction, NativeImage,
+                                    PredecodedFunction, PK_SIMPLE, PK_BR,
+                                    PK_CONDBR, PK_RET, PK_CALL, PK_CALLIND,
+                                    PK_UNREACHABLE)
 from repro.compiler.ir import Imm, Operand, Reg
 from repro.core.layout import KERNEL_START, mask_address
 from repro.errors import CFIViolation, InterpreterError
@@ -56,17 +88,324 @@ def _to_signed(value: int) -> int:
     return value - (1 << 64) if value & _S64_SIGN else value
 
 
-class _Frame:
-    __slots__ = ("function", "pc", "regs", "ret_slot", "sp", "result_reg")
+def _align16(value: int) -> int:
+    return (value + 15) // 16 * 16
 
-    def __init__(self, function: NativeFunction, regs: dict[str, int],
-                 ret_slot: int, result_reg: str | None):
-        self.function = function
+
+# ======================================================================
+# shared semantic tables (used by both tiers and by binders)
+# ======================================================================
+
+def _udiv(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpreterError("division by zero")
+    return a // b
+
+
+def _urem(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpreterError("division by zero")
+    return a % b
+
+
+def _sdiv(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpreterError("division by zero")
+    result = abs(_to_signed(a)) // abs(_to_signed(b))
+    if (_to_signed(a) < 0) != (_to_signed(b) < 0):
+        result = -result
+    return result & _U64
+
+
+_BINFN: dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: (a + b) & _U64,
+    "sub": lambda a, b: (a - b) & _U64,
+    "mul": lambda a, b: (a * b) & _U64,
+    "udiv": _udiv,
+    "urem": _urem,
+    "sdiv": _sdiv,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: (a << (b & 63)) & _U64,
+    "lshr": lambda a, b: a >> (b & 63),
+    "ashr": lambda a, b: (_to_signed(a) >> (b & 63)) & _U64,
+}
+
+_CMPFN: dict[str, Callable[[int, int], int]] = {
+    "eq": lambda a, b: 1 if a == b else 0,
+    "ne": lambda a, b: 1 if a != b else 0,
+    "ult": lambda a, b: 1 if a < b else 0,
+    "ule": lambda a, b: 1 if a <= b else 0,
+    "ugt": lambda a, b: 1 if a > b else 0,
+    "uge": lambda a, b: 1 if a >= b else 0,
+    "slt": lambda a, b: 1 if _to_signed(a) < _to_signed(b) else 0,
+    "sle": lambda a, b: 1 if _to_signed(a) <= _to_signed(b) else 0,
+    "sgt": lambda a, b: 1 if _to_signed(a) > _to_signed(b) else 0,
+    "sge": lambda a, b: 1 if _to_signed(a) >= _to_signed(b) else 0,
+}
+
+
+# ======================================================================
+# fast-tier plumbing
+# ======================================================================
+
+class _RunState:
+    """Per-execution accumulator for batched cycle charges.
+
+    Each field mirrors one charge kind the interpreter produces; closures
+    bump the counters and :meth:`flush` settles them against the clock in
+    one ``charge_batch`` call. ``frame`` tracks the executing frame so
+    ``alloca`` closures can move its stack cursor.
+    """
+
+    __slots__ = ("instr", "mem_access", "mask_check", "cfi_label", "call",
+                 "ret", "indirect_call", "cfi_check", "clock", "frame",
+                 "cond")
+
+    def __init__(self, clock: CycleClock):
+        self.instr = 0
+        self.mem_access = 0
+        self.mask_check = 0
+        self.cfi_label = 0
+        self.call = 0
+        self.ret = 0
+        self.indirect_call = 0
+        self.cfi_check = 0
+        self.clock = clock
+        self.frame = None
+        self.cond = 0              # set by a run-terminating condbr step
+
+    def flush(self) -> None:
+        batch = {}
+        if self.instr:
+            batch["instr"] = self.instr
+            self.instr = 0
+        if self.mem_access:
+            batch["mem_access"] = self.mem_access
+            self.mem_access = 0
+        if self.mask_check:
+            batch["mask_check"] = self.mask_check
+            self.mask_check = 0
+        if self.cfi_label:
+            batch["cfi_label"] = self.cfi_label
+            self.cfi_label = 0
+        if self.call:
+            batch["call"] = self.call
+            self.call = 0
+        if self.ret:
+            batch["ret"] = self.ret
+            self.ret = 0
+        if self.indirect_call:
+            batch["indirect_call"] = self.indirect_call
+            self.indirect_call = 0
+        if self.cfi_check:
+            batch["cfi_check"] = self.cfi_check
+            self.cfi_check = 0
+        if batch:
+            self.clock.charge_batch(batch)
+
+
+class _BoundFn:
+    """A predecoded function bound to one interpreter's memory and clock."""
+
+    __slots__ = ("pre", "native", "code", "nslots", "nparams",
+                 "param_slots", "base", "name")
+
+    def __init__(self, pre: PredecodedFunction, code: list):
+        self.pre = pre
+        self.native = pre.native
+        self.code = code
+        self.nslots = pre.nslots
+        self.param_slots = pre.param_slots
+        self.nparams = len(pre.param_slots)
+        self.base = pre.base
+        self.name = pre.name
+
+
+class _FastFrame:
+    __slots__ = ("bf", "pc", "regs", "ret_slot", "sp", "result_slot",
+                 "result_name")
+
+    def __init__(self, bf: _BoundFn, regs: list, ret_slot: int,
+                 result_slot: int | None, result_name: str | None):
+        self.bf = bf
         self.pc = 0
         self.regs = regs
         self.ret_slot = ret_slot   # stack address holding our return addr
         self.sp = ret_slot         # alloca cursor (grows down)
-        self.result_reg = result_reg
+        # Where our return value lands in the *caller's* frame: the slot
+        # is valid for the caller that made the call; the name is kept so
+        # a hijacked return (different function, different slot space) can
+        # re-resolve it exactly like the reference tier's by-name write.
+        self.result_slot = result_slot
+        self.result_name = result_name
+
+
+def _slot_name(pre: PredecodedFunction, slot: int | None) -> str | None:
+    """Inverse slot lookup (bind time only; slots are unique per name)."""
+    if slot is None:
+        return None
+    for name, index in pre.name_to_slot.items():
+        if index == slot:
+            return name
+    return None
+
+
+def _make_getter(spec, fname: str):
+    """Operand spec -> accessor closure over the flat register list."""
+    tag = spec[0]
+    if tag == "v":
+        value = spec[1]
+
+        def get_const(regs, _v=value):
+            return _v
+        return get_const
+    if tag == "r":
+        slot, name = spec[1], spec[2]
+
+        def get_reg(regs, _s=slot, _n=name, _f=fname):
+            value = regs[_s]
+            if value is None:
+                raise InterpreterError(
+                    f"read of undefined register %{_n} in @{_f}")
+            return value
+        return get_reg
+    operand = spec[1]
+
+    def get_bad(regs, _o=operand):
+        raise InterpreterError(f"unresolved operand {_o!r}")
+    return get_bad
+
+
+# Bind-time source templates for two-operand instructions. Each entry is
+# the expression the generated step assigns to the destination slot; `a`
+# and `b` are the operand values. Ops that can raise (udiv/urem/sdiv)
+# keep the closure path below so their error behavior stays in one place.
+_VALOP_EXPR: dict[str, str] = {
+    "add": "(a + b) & _U64",
+    "sub": "(a - b) & _U64",
+    "mul": "(a * b) & _U64",
+    "and": "a & b",
+    "or": "a | b",
+    "xor": "a ^ b",
+    "shl": "(a << (b & 63)) & _U64",
+    "lshr": "a >> (b & 63)",
+    "ashr": "(_to_signed(a) >> (b & 63)) & _U64",
+    "eq": "1 if a == b else 0",
+    "ne": "1 if a != b else 0",
+    "ult": "1 if a < b else 0",
+    "ule": "1 if a <= b else 0",
+    "ugt": "1 if a > b else 0",
+    "uge": "1 if a >= b else 0",
+    "slt": "1 if _to_signed(a) < _to_signed(b) else 0",
+    "sle": "1 if _to_signed(a) <= _to_signed(b) else 0",
+    "sgt": "1 if _to_signed(a) > _to_signed(b) else 0",
+    "sge": "1 if _to_signed(a) >= _to_signed(b) else 0",
+}
+
+def _inline_valop(expr: str, dst: int, a_spec, b_spec, fname: str):
+    """Compose and compile the exact Python for one two-operand step.
+
+    Slots and immediates are embedded as literals, so the generated step
+    is a single straight-line function -- no getter calls, no shared
+    opfn call. Raised messages match the closure path byte-for-byte.
+    """
+    lines = ["def step(regs, rt):", " rt.instr += 1"]
+    for var, spec in (("a", a_spec), ("b", b_spec)):
+        if spec[0] == "v":
+            lines.append(f" {var} = {spec[1]!r}")
+        else:
+            slot, name = spec[1], spec[2]
+            message = f"read of undefined register %{name} in @{fname}"
+            lines.append(f" {var} = regs[{slot}]")
+            lines.append(f" if {var} is None:")
+            lines.append(f"  raise InterpreterError({message!r})")
+    lines.append(f" regs[{dst}] = {expr}")
+    env = {"InterpreterError": InterpreterError, "_U64": _U64,
+           "_to_signed": _to_signed}
+    exec(compile("\n".join(lines), "<bound-step>", "exec"), env)
+    return env["step"]
+
+
+def _bind_valop(opfn, dst: int, a_spec, b_spec, fname: str,
+                op: str | None = None):
+    """Specialized two-operand step (binary ops and icmp): the register /
+    immediate shape of both operands is resolved at bind time."""
+    a_tag, b_tag = a_spec[0], b_spec[0]
+    if op is not None and a_tag in "rv" and b_tag in "rv":
+        expr = _VALOP_EXPR.get(op)
+        if expr is not None:
+            return _inline_valop(expr, dst, a_spec, b_spec, fname)
+    if a_tag == "r" and b_tag == "r":
+        sa, na = a_spec[1], a_spec[2]
+        sb, nb = b_spec[1], b_spec[2]
+
+        def step_rr(regs, rt):
+            rt.instr += 1
+            a = regs[sa]
+            if a is None:
+                raise InterpreterError(
+                    f"read of undefined register %{na} in @{fname}")
+            b = regs[sb]
+            if b is None:
+                raise InterpreterError(
+                    f"read of undefined register %{nb} in @{fname}")
+            regs[dst] = opfn(a, b)
+        return step_rr
+    if a_tag == "r" and b_tag == "v":
+        sa, na = a_spec[1], a_spec[2]
+        vb = b_spec[1]
+
+        def step_rv(regs, rt):
+            rt.instr += 1
+            a = regs[sa]
+            if a is None:
+                raise InterpreterError(
+                    f"read of undefined register %{na} in @{fname}")
+            regs[dst] = opfn(a, vb)
+        return step_rv
+    if a_tag == "v" and b_tag == "r":
+        va = a_spec[1]
+        sb, nb = b_spec[1], b_spec[2]
+
+        def step_vr(regs, rt):
+            rt.instr += 1
+            b = regs[sb]
+            if b is None:
+                raise InterpreterError(
+                    f"read of undefined register %{nb} in @{fname}")
+            regs[dst] = opfn(va, b)
+        return step_vr
+    if a_tag == "v" and b_tag == "v":
+        va, vb = a_spec[1], b_spec[1]
+
+        def step_vv(regs, rt):
+            rt.instr += 1
+            regs[dst] = opfn(va, vb)
+        return step_vv
+    get_a = _make_getter(a_spec, fname)
+    get_b = _make_getter(b_spec, fname)
+
+    def step_gen(regs, rt):
+        rt.instr += 1
+        a = get_a(regs)
+        b = get_b(regs)
+        regs[dst] = opfn(a, b)
+    return step_gen
+
+
+# fast-tier entry tags (first element of each bound-code entry)
+_T_RUN = 0
+_T_BR = 1
+_T_CONDBR = 2
+_T_RET = 3
+_T_CALL = 4
+_T_EXTERN = 5
+_T_CALLIND = 6
+_T_UNREACHABLE = 7
+_T_END = 8
+_T_RUN2 = 9     # straight-line run ending in a fused condbr
 
 
 class Interpreter:
@@ -79,7 +418,8 @@ class Interpreter:
 
     def __init__(self, image: NativeImage, memory: MemoryPort,
                  clock: CycleClock, *, externs: dict[str, ExternFn],
-                 stack_top: int, limits: ExecutionLimits | None = None):
+                 stack_top: int, limits: ExecutionLimits | None = None,
+                 reference: bool | None = None):
         self.image = image
         self.memory = memory
         self.clock = clock
@@ -88,6 +428,11 @@ class Interpreter:
         self.limits = limits or ExecutionLimits()
         self.steps_executed = 0
         self.cfi_violations = 0
+        if reference is None:
+            reference = (os.environ.get("REPRO_INTERP_TIER", "").lower()
+                         == "reference")
+        self.reference = reference
+        self._bound: dict[str, _BoundFn] = {}
 
     # -- entry ------------------------------------------------------------------
 
@@ -106,9 +451,24 @@ class Interpreter:
             raise InterpreterError(f"call to non-function address {addr:#x}")
         return self._execute(function, [a & _U64 for a in args])
 
-    # -- machinery ---------------------------------------------------------------
-
     def _execute(self, function: NativeFunction, args: list[int]) -> int:
+        if self.reference:
+            return self._execute_reference(function, args)
+        return self._execute_fast(function, args)
+
+    def _step_limit_error(self, total_steps: int,
+                          function_name: str) -> InterpreterError:
+        return InterpreterError(
+            f"step limit exceeded in {self.image.module_name}: "
+            f"{total_steps} steps executed, in @{function_name} "
+            f"(max_steps={self.limits.max_steps})")
+
+    # ==================================================================
+    # reference tier (original loop; the equivalence oracle)
+    # ==================================================================
+
+    def _execute_reference(self, function: NativeFunction,
+                           args: list[int]) -> int:
         sp = self.stack_top
         sp = self._push_return(sp, self.HOST_RETURN)
         frame = self._make_frame(function, args, sp, result_reg=None)
@@ -123,8 +483,8 @@ class Interpreter:
             self.steps_executed += 1
             step_budget -= 1
             if step_budget < 0:
-                raise InterpreterError(
-                    f"step limit exceeded in {self.image.module_name}")
+                raise self._step_limit_error(self.steps_executed,
+                                             frame.function.name)
 
             op = insn.opcode
             # -- control flow -------------------------------------------------
@@ -229,7 +589,7 @@ class Interpreter:
             frame.pc += 1
 
     def _make_frame(self, function: NativeFunction, args: list[int],
-                    ret_slot: int, result_reg: str | None) -> _Frame:
+                    ret_slot: int, result_reg: str | None) -> "_Frame":
         if len(args) != len(function.params):
             raise InterpreterError(
                 f"@{function.name} takes {len(function.params)} args, "
@@ -279,7 +639,7 @@ class Interpreter:
 
     # -- simple instructions ----------------------------------------------------------
 
-    def _execute_simple(self, frame: _Frame, insn) -> None:
+    def _execute_simple(self, frame: "_Frame", insn) -> None:
         op = insn.opcode
         regs = frame.regs
 
@@ -354,54 +714,19 @@ class Interpreter:
 
     @staticmethod
     def _binary(op: str, a: int, b: int) -> int:
-        if op == "add":
-            return (a + b) & _U64
-        if op == "sub":
-            return (a - b) & _U64
-        if op == "mul":
-            return (a * b) & _U64
-        if op == "udiv":
-            if b == 0:
-                raise InterpreterError("division by zero")
-            return a // b
-        if op == "urem":
-            if b == 0:
-                raise InterpreterError("division by zero")
-            return a % b
-        if op == "sdiv":
-            if b == 0:
-                raise InterpreterError("division by zero")
-            result = abs(_to_signed(a)) // abs(_to_signed(b))
-            if (_to_signed(a) < 0) != (_to_signed(b) < 0):
-                result = -result
-            return result & _U64
-        if op == "and":
-            return a & b
-        if op == "or":
-            return a | b
-        if op == "xor":
-            return a ^ b
-        if op == "shl":
-            return (a << (b & 63)) & _U64
-        if op == "lshr":
-            return a >> (b & 63)
-        if op == "ashr":
-            return (_to_signed(a) >> (b & 63)) & _U64
-        raise InterpreterError(f"unknown binary op {op!r}")
+        fn = _BINFN.get(op)
+        if fn is None:
+            raise InterpreterError(f"unknown binary op {op!r}")
+        return fn(a, b)
 
     @staticmethod
     def _icmp(predicate: str, a: int, b: int) -> int:
-        sa, sb = _to_signed(a), _to_signed(b)
-        table = {
-            "eq": a == b, "ne": a != b,
-            "ult": a < b, "ule": a <= b, "ugt": a > b, "uge": a >= b,
-            "slt": sa < sb, "sle": sa <= sb, "sgt": sa > sb, "sge": sa >= sb,
-        }
-        if predicate not in table:
+        fn = _CMPFN.get(predicate)
+        if fn is None:
             raise InterpreterError(f"unknown icmp predicate {predicate!r}")
-        return 1 if table[predicate] else 0
+        return fn(a, b)
 
-    def _value(self, frame: _Frame, operand: Operand) -> int:
+    def _value(self, frame: "_Frame", operand: Operand) -> int:
         if isinstance(operand, Reg):
             try:
                 return frame.regs[operand.name]
@@ -413,6 +738,591 @@ class Interpreter:
             return operand.value
         raise InterpreterError(f"unresolved operand {operand!r}")
 
+    # ==================================================================
+    # fast tier
+    # ==================================================================
 
-def _align16(value: int) -> int:
-    return (value + 15) // 16 * 16
+    def _bound_fn(self, function: NativeFunction) -> _BoundFn:
+        bf = self._bound.get(function.name)
+        if (bf is not None and bf.native is function
+                and bf.pre.n_insns == len(function.insns)):
+            return bf
+        pre = self.image.predecoded(function)
+        bf = _BoundFn(pre, self._bind_code(pre))
+        self._bound[function.name] = bf
+        return bf
+
+    def _bind_code(self, pre: PredecodedFunction) -> list:
+        """Bind predecoded instructions to executable entries.
+
+        Entry shapes (first element is the tag):
+
+        * ``(_T_RUN, steps, len, next_pc)`` -- maximal straight-line run
+          of simple-op closures starting at this index (every index
+          inside a run gets its own suffix entry, so control flow may
+          land mid-run: return sites and hijacked return addresses do).
+          An unconditional ``br`` terminating a run is folded *into* the
+          run as its last step (it cannot raise; its jump becomes the
+          run's ``next_pc`` and its ``instr`` charge batches like any
+          other step);
+        * ``(_T_RUN2, steps, len, then_pc, else_pc)`` -- like ``_T_RUN``
+          but terminated by a fused ``condbr``: its last step charges
+          ``instr`` and leaves the branch decision in ``rt.cond``, and
+          the main loop picks the successor;
+        * control-flow entries carrying pre-resolved accessors/targets;
+        * ``(_T_END,)`` sentinel at index ``len(insns)`` ("fell off").
+        """
+        n = pre.n_insns
+        entries: list = [None] * (n + 1)
+        simple_steps: list = [None] * n
+
+        def step_br(regs, rt):
+            rt.instr += 1
+
+        for index, pins in enumerate(pre.insns):
+            if pins.kind == PK_SIMPLE:
+                simple_steps[index] = self._bind_simple(pins, pre)
+            else:
+                entries[index] = self._bind_control(pins, pre)
+
+        index = 0
+        while index < n:
+            pins = pre.insns[index]
+            if pins.kind not in (PK_SIMPLE, PK_BR, PK_CONDBR):
+                index += 1
+                continue
+            end = index
+            while end < n and pre.insns[end].kind == PK_SIMPLE:
+                end += 1
+            steps_slice = simple_steps[index:end]
+            tail = pre.insns[end] if end < n else None
+            if tail is not None and tail.kind == PK_BR:
+                steps_slice.append(step_br)
+                run_entry = (_T_RUN, None, 0, tail.targets[0])
+                end += 1
+            elif tail is not None and tail.kind == PK_CONDBR:
+                steps_slice.append(
+                    self._bind_condbr_step(tail, pre))
+                run_entry = (_T_RUN2, None, 0, tail.targets[0],
+                             tail.targets[1])
+                end += 1
+            else:
+                if not steps_slice:
+                    index = end
+                    continue
+                run_entry = (_T_RUN, None, 0, end)
+            for start in range(end - len(steps_slice), end):
+                offset = start - (end - len(steps_slice))
+                steps = steps_slice[offset:]
+                entries[start] = ((run_entry[0], steps, len(steps))
+                                  + run_entry[3:])
+            index = end
+        entries[n] = (_T_END,)
+        return entries
+
+    def _bind_condbr_step(self, pins, pre: PredecodedFunction):
+        """A fused condbr as a run step: charge + evaluate into rt.cond."""
+        spec = pins.ops[0]
+        if spec[0] == "r":
+            slot, name = spec[1], spec[2]
+            fname = pre.name
+
+            def step_condbr_reg(regs, rt):
+                rt.instr += 1
+                cond = regs[slot]
+                if cond is None:
+                    raise InterpreterError(
+                        f"read of undefined register %{name} "
+                        f"in @{fname}")
+                rt.cond = cond
+            return step_condbr_reg
+        get = _make_getter(spec, pre.name)
+
+        def step_condbr(regs, rt):
+            rt.instr += 1
+            rt.cond = get(regs)
+        return step_condbr
+
+    def _bind_simple(self, pins, pre: PredecodedFunction):
+        op = pins.opcode
+        fname = pre.name
+        # Result-less value ops land in a scratch slot (the reference
+        # tier writes dict key None; neither is ever readable).
+        dst = pins.dst if pins.dst is not None else pre.nslots
+        ops = pins.ops
+
+        if op == "cfi_label":
+            def step_label(regs, rt):
+                rt.cfi_label += 1
+            return step_label
+
+        if op == "vgmask":
+            if ops[0][0] == "r":                   # always a reg in practice
+                slot, name = ops[0][1], ops[0][2]
+
+                def step_mask_reg(regs, rt):
+                    # charge precedes the operand read (reference order)
+                    rt.mask_check += 1
+                    address = regs[slot]
+                    if address is None:
+                        raise InterpreterError(
+                            f"read of undefined register %{name} "
+                            f"in @{fname}")
+                    regs[dst] = mask_address(address)
+                return step_mask_reg
+            get = _make_getter(ops[0], fname)
+
+            def step_mask(regs, rt):
+                rt.mask_check += 1
+                regs[dst] = mask_address(get(regs))
+            return step_mask
+
+        if op == "mov":
+            if ops[0][0] == "v":                   # constant load (hot)
+                value = ops[0][1]
+
+                def step_mov_const(regs, rt):
+                    rt.instr += 1
+                    regs[dst] = value
+                return step_mov_const
+            get = _make_getter(ops[0], fname)
+
+            def step_mov(regs, rt):
+                rt.instr += 1
+                regs[dst] = get(regs)
+            return step_mov
+
+        if op == "not":
+            get = _make_getter(ops[0], fname)
+
+            def step_not(regs, rt):
+                rt.instr += 1
+                regs[dst] = ~get(regs) & _U64
+            return step_not
+
+        if op == "alloca":
+            get = _make_getter(ops[0], fname)
+
+            def step_alloca(regs, rt):
+                rt.instr += 1
+                size = get(regs)
+                frame = rt.frame
+                frame.sp = (frame.sp - _align16(size)) & _U64
+                regs[dst] = frame.sp
+            return step_alloca
+
+        if pins.width and op[0] == "l":            # loadN
+            width = pins.width
+            mem_load = self.memory.load
+            if ops[0][0] == "v":                   # absolute address (globals)
+                addr = ops[0][1]
+
+                def step_load_const(regs, rt):
+                    rt.mem_access += 1
+                    regs[dst] = mem_load(addr, width)
+                return step_load_const
+            if ops[0][0] == "r":                   # register address (hot)
+                slot, name = ops[0][1], ops[0][2]
+
+                def step_load_reg(regs, rt):
+                    address = regs[slot]
+                    if address is None:
+                        raise InterpreterError(
+                            f"read of undefined register %{name} "
+                            f"in @{fname}")
+                    rt.mem_access += 1
+                    regs[dst] = mem_load(address, width)
+                return step_load_reg
+            get = _make_getter(ops[0], fname)
+
+            def step_load(regs, rt):
+                address = get(regs)
+                rt.mem_access += 1
+                regs[dst] = mem_load(address, width)
+            return step_load
+
+        if pins.width:                             # storeN
+            width = pins.width
+            mem_store = self.memory.store
+            if ops[0][0] == "r" and ops[1][0] == "r":
+                value_slot, value_name = ops[0][1], ops[0][2]
+                addr_slot, addr_name = ops[1][1], ops[1][2]
+
+                def step_store_rr(regs, rt):
+                    value = regs[value_slot]
+                    if value is None:
+                        raise InterpreterError(
+                            f"read of undefined register %{value_name} "
+                            f"in @{fname}")
+                    address = regs[addr_slot]
+                    if address is None:
+                        raise InterpreterError(
+                            f"read of undefined register %{addr_name} "
+                            f"in @{fname}")
+                    rt.mem_access += 1
+                    mem_store(address, width, value)
+                return step_store_rr
+            get_value = _make_getter(ops[0], fname)
+            get_addr = _make_getter(ops[1], fname)
+
+            def step_store(regs, rt):
+                value = get_value(regs)
+                address = get_addr(regs)
+                rt.mem_access += 1
+                mem_store(address, width, value)
+            return step_store
+
+        if op == "memcpy":
+            get_d = _make_getter(ops[0], fname)
+            get_s = _make_getter(ops[1], fname)
+            get_n = _make_getter(ops[2], fname)
+            mem_copy = self.memory.copy
+            charge = self.clock.charge
+
+            def step_memcpy(regs, rt):
+                dst_addr = get_d(regs)
+                src_addr = get_s(regs)
+                length = get_n(regs)
+                charge("copy_per_word", (length + 7) // 8)
+                mem_copy(dst_addr, src_addr, length)
+            return step_memcpy
+
+        if op == "memset":
+            get_d = _make_getter(ops[0], fname)
+            get_b = _make_getter(ops[1], fname)
+            get_n = _make_getter(ops[2], fname)
+            mem_fill = self.memory.fill
+            charge = self.clock.charge
+
+            def step_memset(regs, rt):
+                dst_addr = get_d(regs)
+                byte = get_b(regs) & 0xFF
+                length = get_n(regs)
+                charge("copy_per_word", (length + 7) // 8)
+                mem_fill(dst_addr, byte, length)
+            return step_memset
+
+        if op == "icmp":
+            cmpfn = _CMPFN.get(pins.predicate)
+            if cmpfn is None:
+                predicate = pins.predicate
+                get_a = _make_getter(ops[0], fname)
+                get_b = _make_getter(ops[1], fname)
+
+                def step_bad_icmp(regs, rt):
+                    rt.instr += 1
+                    get_a(regs)
+                    get_b(regs)
+                    raise InterpreterError(
+                        f"unknown icmp predicate {predicate!r}")
+                return step_bad_icmp
+            return _bind_valop(cmpfn, dst, ops[0], ops[1], fname,
+                               op=pins.predicate)
+
+        if op == "select":
+            get_c = _make_getter(ops[0], fname)
+            get_a = _make_getter(ops[1], fname)
+            get_b = _make_getter(ops[2], fname)
+
+            def step_select(regs, rt):
+                rt.instr += 1
+                regs[dst] = (get_a(regs) if get_c(regs)
+                             else get_b(regs))
+            return step_select
+
+        binfn = _BINFN.get(op)
+        if binfn is None:
+            get_a = _make_getter(ops[0], fname)
+            get_b = _make_getter(ops[1], fname)
+
+            def step_bad_binary(regs, rt):
+                rt.instr += 1
+                get_a(regs)
+                get_b(regs)
+                raise InterpreterError(f"unknown binary op {op!r}")
+            return step_bad_binary
+        return _bind_valop(binfn, dst, ops[0], ops[1], fname, op=op)
+
+    def _bind_control(self, pins, pre: PredecodedFunction):
+        fname = pre.name
+        kind = pins.kind
+        if kind == PK_BR:
+            return (_T_BR, pins.targets[0])
+        if kind == PK_CONDBR:
+            return (_T_CONDBR, _make_getter(pins.ops[0], fname),
+                    pins.targets[0], pins.targets[1])
+        if kind == PK_RET:
+            getter = (_make_getter(pins.ops[0], fname)
+                      if pins.ops else None)
+            return (_T_RET, pins.is_cfi, getter)
+        if kind == PK_CALL:
+            getters = tuple(_make_getter(spec, fname) for spec in pins.ops)
+            result_name = _slot_name(pre, pins.dst)
+            if pins.callee in self.image.functions:
+                # Final element is a mutable cell caching the callee's
+                # bound code (filled on first call).
+                return (_T_CALL, pins.callee, getters, pins.dst,
+                        result_name, [None])
+            return (_T_EXTERN, pins.callee, getters, pins.dst)
+        if kind == PK_CALLIND:
+            target_getter = _make_getter(pins.ops[0], fname)
+            getters = tuple(_make_getter(spec, fname)
+                            for spec in pins.ops[1:])
+            return (_T_CALLIND, pins.is_cfi, target_getter, getters,
+                    pins.dst, _slot_name(pre, pins.dst))
+        if kind == PK_UNREACHABLE:
+            return (_T_UNREACHABLE, fname)
+        raise InterpreterError(f"unbindable opcode {pins.opcode!r}")
+
+    def _hijack_frame(self, caller: _FastFrame,
+                      target_fn: NativeFunction) -> _FastFrame:
+        """Rebuild a popped frame whose return address was redirected into
+        a different function: register values carry over *by name* (the
+        reference tier copies the register dict wholesale; only names the
+        target function mentions are observable)."""
+        target_bf = self._bound_fn(target_fn)
+        regs: list = [None] * (target_bf.nslots + 1)
+        source_slots = caller.bf.pre.name_to_slot
+        source_regs = caller.regs
+        for name, slot in target_bf.pre.name_to_slot.items():
+            old = source_slots.get(name)
+            if old is not None:
+                regs[slot] = source_regs[old]
+        hijacked = _FastFrame(target_bf, regs, caller.ret_slot,
+                              caller.result_slot, caller.result_name)
+        hijacked.sp = caller.sp
+        return hijacked
+
+    def _execute_fast(self, function: NativeFunction,
+                      args: list[int]) -> int:
+        memory = self.memory
+        image = self.image
+        limits = self.limits
+        rt = _RunState(self.clock)
+        steps = 0
+        try:
+            bf = self._bound_fn(function)
+            sp = (self.stack_top - 8) & _U64
+            memory.store(sp, 8, self.HOST_RETURN)
+            rt.mem_access += 1
+            if len(args) != bf.nparams:
+                raise InterpreterError(
+                    f"@{bf.name} takes {bf.nparams} args, "
+                    f"got {len(args)}")
+            regs: list = [None] * (bf.nslots + 1)
+            for slot, value in zip(bf.param_slots, args):
+                regs[slot] = value
+            frame = _FastFrame(bf, regs, sp, None, None)
+            rt.frame = frame
+            stack: list[_FastFrame] = []
+            budget = limits.max_steps
+            code = bf.code
+            pc = 0
+
+            while True:
+                entry = code[pc]
+                tag = entry[0]
+
+                if tag == _T_RUN or tag == _T_RUN2:
+                    run = entry[1]
+                    length = entry[2]
+                    if budget >= length:
+                        n = 0
+                        try:
+                            for n, step in enumerate(run):
+                                step(regs, rt)
+                        except BaseException:
+                            steps += n + 1
+                            raise
+                        budget -= length
+                        steps += length
+                        if tag == _T_RUN:
+                            pc = entry[3]
+                        else:
+                            pc = entry[3] if rt.cond else entry[4]
+                        continue
+                    # Budget expires inside this run: execute what is
+                    # left, then fail on the next instruction exactly as
+                    # the reference per-step loop does.
+                    n = 0
+                    try:
+                        while n < budget:
+                            run[n](regs, rt)
+                            n += 1
+                    except BaseException:
+                        steps += n + 1
+                        raise
+                    steps += budget + 1
+                    raise self._step_limit_error(
+                        self.steps_executed + steps, frame.bf.name)
+
+                if tag == _T_END:
+                    raise InterpreterError(
+                        f"fell off the end of @{frame.bf.name}")
+
+                # every control-flow instruction is one step
+                if budget == 0:
+                    steps += 1
+                    raise self._step_limit_error(
+                        self.steps_executed + steps, frame.bf.name)
+                budget -= 1
+                steps += 1
+
+                if tag == _T_BR:
+                    rt.instr += 1
+                    pc = entry[1]
+                    continue
+
+                if tag == _T_CONDBR:
+                    rt.instr += 1
+                    pc = entry[2] if entry[1](regs) else entry[3]
+                    continue
+
+                if tag == _T_RET:
+                    getter = entry[2]
+                    retval = getter(regs) if getter is not None else 0
+                    rt.ret += 1
+                    return_addr = memory.load(frame.ret_slot, 8)
+                    rt.mem_access += 1
+                    if entry[1]:
+                        rt.cfi_check += 1
+                        self._cfi_check_return(return_addr)
+                    if return_addr == self.HOST_RETURN:
+                        if not stack:
+                            return retval
+                        raise InterpreterError(
+                            "return to host with live frames")
+                    target = image.locate(return_addr)
+                    if target is None:
+                        raise InterpreterError(
+                            f"return to non-code address {return_addr:#x}")
+                    if not stack:
+                        raise InterpreterError(
+                            "return with empty call stack")
+                    caller = stack.pop()
+                    target_fn, caller_pc = target
+                    result_slot = frame.result_slot
+                    if target_fn is not caller.bf.native:
+                        caller = self._hijack_frame(caller, target_fn)
+                        # Our result slot was valid in the original
+                        # caller's frame; re-resolve by name in the
+                        # hijack target (unobservable if absent there).
+                        result_slot = (caller.bf.pre.name_to_slot.get(
+                            frame.result_name)
+                            if frame.result_name is not None else None)
+                    caller.pc = caller_pc
+                    if result_slot is not None:
+                        caller.regs[result_slot] = retval & _U64
+                    frame = caller
+                    rt.frame = frame
+                    regs = frame.regs
+                    code = frame.bf.code
+                    pc = caller_pc
+                    continue
+
+                if tag == _T_CALL:
+                    args_values = [g(regs) for g in entry[2]]
+                    rt.call += 1
+                    if len(stack) >= limits.max_call_depth:
+                        raise InterpreterError("call depth exceeded")
+                    callee_bf = entry[5][0]
+                    if callee_bf is None:
+                        callee_bf = self._bound_fn(
+                            image.functions[entry[1]])
+                        entry[5][0] = callee_bf
+                    return_addr = frame.bf.base + pc + 1
+                    new_sp = (frame.sp - 8) & _U64
+                    memory.store(new_sp, 8, return_addr)
+                    rt.mem_access += 1
+                    frame.pc = pc
+                    stack.append(frame)
+                    if len(args_values) != callee_bf.nparams:
+                        raise InterpreterError(
+                            f"@{callee_bf.name} takes "
+                            f"{callee_bf.nparams} args, "
+                            f"got {len(args_values)}")
+                    regs = [None] * (callee_bf.nslots + 1)
+                    for slot, value in zip(callee_bf.param_slots,
+                                           args_values):
+                        regs[slot] = value
+                    frame = _FastFrame(callee_bf, regs, new_sp, entry[3],
+                                       entry[4])
+                    rt.frame = frame
+                    code = callee_bf.code
+                    pc = 0
+                    continue
+
+                if tag == _T_EXTERN:
+                    args_values = [g(regs) for g in entry[2]]
+                    extern_fn = self.externs.get(entry[1])
+                    if extern_fn is None:
+                        raise InterpreterError(
+                            f"call to unknown @{entry[1]}")
+                    rt.call += 1
+                    # Safepoint: externs run host (kernel) code that may
+                    # observe the clock -- settle all deferred charges.
+                    rt.flush()
+                    result = extern_fn(args_values) or 0
+                    if entry[3] is not None:
+                        regs[entry[3]] = result & _U64
+                    pc += 1
+                    continue
+
+                if tag == _T_CALLIND:
+                    target_addr = entry[2](regs)
+                    args_values = [g(regs) for g in entry[3]]
+                    rt.indirect_call += 1
+                    if entry[1]:
+                        rt.cfi_check += 1
+                        self._cfi_check_icall(target_addr)
+                    target_fn = image.function_at(target_addr)
+                    if target_fn is None:
+                        raise InterpreterError(
+                            f"indirect call to non-entry address "
+                            f"{target_addr:#x}")
+                    if len(stack) >= limits.max_call_depth:
+                        raise InterpreterError("call depth exceeded")
+                    callee_bf = self._bound_fn(target_fn)
+                    return_addr = frame.bf.base + pc + 1
+                    new_sp = (frame.sp - 8) & _U64
+                    memory.store(new_sp, 8, return_addr)
+                    rt.mem_access += 1
+                    frame.pc = pc
+                    stack.append(frame)
+                    if len(args_values) != callee_bf.nparams:
+                        raise InterpreterError(
+                            f"@{callee_bf.name} takes "
+                            f"{callee_bf.nparams} args, "
+                            f"got {len(args_values)}")
+                    regs = [None] * (callee_bf.nslots + 1)
+                    for slot, value in zip(callee_bf.param_slots,
+                                           args_values):
+                        regs[slot] = value
+                    frame = _FastFrame(callee_bf, regs, new_sp, entry[4],
+                                       entry[5])
+                    rt.frame = frame
+                    code = callee_bf.code
+                    pc = 0
+                    continue
+
+                # tag == _T_UNREACHABLE
+                raise InterpreterError(
+                    f"reached 'unreachable' in @{frame.bf.name}")
+        finally:
+            self.steps_executed += steps
+            rt.flush()
+
+
+class _Frame:
+    """Reference-tier frame: registers live in a name-keyed dict."""
+
+    __slots__ = ("function", "pc", "regs", "ret_slot", "sp", "result_reg")
+
+    def __init__(self, function: NativeFunction, regs: dict[str, int],
+                 ret_slot: int, result_reg: str | None):
+        self.function = function
+        self.pc = 0
+        self.regs = regs
+        self.ret_slot = ret_slot   # stack address holding our return addr
+        self.sp = ret_slot         # alloca cursor (grows down)
+        self.result_reg = result_reg

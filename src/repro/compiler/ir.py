@@ -21,6 +21,7 @@ passes insert the pseudo-ops ``vgmask`` (load/store sandboxing),
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 from repro.errors import CompilerError
 
@@ -33,6 +34,20 @@ _U64 = (1 << 64) - 1
 class Reg:
     name: str
 
+    #: Interning cache -- register names repeat massively across a module
+    #: (every ``%i``/``%acc``/... mention is one object instead of one
+    #: allocation per mention). ``Reg(name)`` still works and compares
+    #: equal; ``Reg.of`` is the allocation-free path used by the parser.
+    _interned: ClassVar[dict[str, "Reg"]] = {}
+
+    @classmethod
+    def of(cls, name: str) -> "Reg":
+        cached = cls._interned.get(name)
+        if cached is None:
+            cached = cls(name)
+            cls._interned[name] = cached
+        return cached
+
     def __str__(self) -> str:
         return f"%{self.name}"
 
@@ -41,8 +56,20 @@ class Reg:
 class Imm:
     value: int
 
+    _interned: ClassVar[dict[int, "Imm"]] = {}
+
     def __post_init__(self):
         object.__setattr__(self, "value", self.value & _U64)
+
+    @classmethod
+    def of(cls, value: int) -> "Imm":
+        """Interning constructor; small immediates dominate real modules."""
+        cached = cls._interned.get(value)
+        if cached is None:
+            cached = cls(value)
+            if len(cls._interned) < 1 << 16:      # bound the cache
+                cls._interned[value] = cached
+        return cached
 
     def __str__(self) -> str:
         return str(self.value)

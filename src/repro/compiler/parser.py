@@ -67,13 +67,13 @@ _RE_CALL = re.compile(rf"^(call|callind)\s+(\S+?)\s*\(([^)]*)\)$")
 def _parse_operand(token: str, line_number: int) -> Operand:
     token = token.strip()
     if token.startswith("%"):
-        return Reg(token[1:])
+        return Reg.of(token[1:])
     if token.startswith("@"):
         # Function vs global is resolved later; globals win at link time,
         # so record as GlobalRef and let the verifier/codegen decide.
         return GlobalRef(token[1:])
     try:
-        return Imm(int(token, 0))
+        return Imm.of(int(token, 0))
     except ValueError:
         raise IRParseError(
             f"line {line_number}: bad operand {token!r}") from None

@@ -108,11 +108,23 @@ class CycleClock:
     and tallies both the event count and the cycles attributed to the
     category, which the tests use to assert that overheads are emergent
     (e.g. "the VG run executed N mask checks, the native run zero").
+
+    The cost model is frozen into a plain dict at construction time
+    (after :meth:`CostModel.validate`), so the hot ``charge`` path does a
+    single dict lookup instead of a ``getattr``. ``charge_batch`` lets
+    tight loops (the module interpreter's fast tier) accumulate event
+    counts locally and settle them in one call; because every total here
+    is a sum of ``units * cost``, batching never changes ``cycles``,
+    ``counters``, or ``cycles_by_kind`` -- only how often this object is
+    touched.
     """
 
     def __init__(self, costs: CostModel | None = None):
         self.costs = costs or CostModel()
         self.costs.validate()
+        #: Per-kind costs as a plain dict; the only lookup ``charge`` does.
+        self._cost_table: dict[str, int] = {
+            f.name: getattr(self.costs, f.name) for f in fields(self.costs)}
         self.cycles = 0
         self.counters: dict[str, int] = {}
         self.cycles_by_kind: dict[str, int] = {}
@@ -124,7 +136,7 @@ class CycleClock:
         """
         if units < 0:
             raise ValueError(f"negative units for {kind!r}: {units}")
-        cost = getattr(self.costs, kind, None)
+        cost = self._cost_table.get(kind)
         if cost is None:
             raise ValueError(f"unknown cost category {kind!r}")
         cycles = cost * units
@@ -133,12 +145,46 @@ class CycleClock:
         self.cycles_by_kind[kind] = self.cycles_by_kind.get(kind, 0) + cycles
         return cycles
 
-    def charge_cycles(self, kind: str, cycles: int) -> int:
-        """Advance the clock by a raw cycle amount under a named category."""
+    def charge_batch(self, units_by_kind: dict[str, int]) -> int:
+        """Settle many accumulated events in one call.
+
+        Equivalent to ``charge(kind, units)`` for every item; returns the
+        total cycles charged. Unknown kinds and negative units are
+        rejected exactly as in ``charge``.
+        """
+        costs = self._cost_table
+        counters = self.counters
+        by_kind = self.cycles_by_kind
+        total = 0
+        for kind, units in units_by_kind.items():
+            if units < 0:
+                raise ValueError(f"negative units for {kind!r}: {units}")
+            cost = costs.get(kind)
+            if cost is None:
+                raise ValueError(f"unknown cost category {kind!r}")
+            cycles = cost * units
+            total += cycles
+            counters[kind] = counters.get(kind, 0) + units
+            by_kind[kind] = by_kind.get(kind, 0) + cycles
+        self.cycles += total
+        return total
+
+    def charge_cycles(self, kind: str, cycles: int, units: int = 1) -> int:
+        """Advance the clock by a raw cycle amount under a named category.
+
+        ``units`` is the number of *events* recorded in ``counters`` for
+        this charge (default 1: one charge, one event). Callers folding
+        several events into one raw-cycle amount should pass the true
+        event count so counter-based assertions stay meaningful --
+        historically this method always bumped the counter by exactly 1
+        regardless of magnitude, which skewed event counts.
+        """
         if cycles < 0:
             raise ValueError(f"negative cycles for {kind!r}: {cycles}")
+        if units < 0:
+            raise ValueError(f"negative units for {kind!r}: {units}")
         self.cycles += cycles
-        self.counters[kind] = self.counters.get(kind, 0) + 1
+        self.counters[kind] = self.counters.get(kind, 0) + units
         self.cycles_by_kind[kind] = self.cycles_by_kind.get(kind, 0) + cycles
         return cycles
 

@@ -76,6 +76,36 @@ class PhysicalMemory:
             addr += chunk
             view = view[chunk:]
 
+    def read_intra(self, paddr: int, length: int) -> bytearray:
+        """Read that the caller guarantees stays inside one frame.
+
+        Fast path for the word-sized loads the module interpreter makes;
+        semantically identical to :meth:`read` for such spans.
+        """
+        frame_number, offset = divmod(paddr, PAGE_SIZE)
+        if not 0 <= frame_number < self.num_frames:
+            raise PhysicalMemoryError(
+                f"physical access [{paddr:#x}, {paddr + length:#x}) "
+                f"outside installed memory ({self.size:#x} bytes)")
+        store = self._frames.get(frame_number)
+        if store is None:
+            store = bytearray(PAGE_SIZE)
+            self._frames[frame_number] = store
+        return store[offset:offset + length]
+
+    def write_intra(self, paddr: int, data: bytes) -> None:
+        """Write that the caller guarantees stays inside one frame."""
+        frame_number, offset = divmod(paddr, PAGE_SIZE)
+        if not 0 <= frame_number < self.num_frames:
+            raise PhysicalMemoryError(
+                f"physical access [{paddr:#x}, {paddr + len(data):#x}) "
+                f"outside installed memory ({self.size:#x} bytes)")
+        store = self._frames.get(frame_number)
+        if store is None:
+            store = bytearray(PAGE_SIZE)
+            self._frames[frame_number] = store
+        store[offset:offset + len(data)] = data
+
     def read_word(self, paddr: int) -> int:
         """Read one little-endian 64-bit word."""
         return int.from_bytes(self.read(paddr, _WORD), "little")

@@ -57,6 +57,13 @@ class MMU:
         self.clock = clock
         self.root = 0                      # physical address of the L4 table
         self._tlb: dict[tuple[int, int], tuple[int, int]] = {}
+        #: Bumped every time any entry can leave the TLB (flush, invlpg,
+        #: capacity clear). Mirrors of the TLB -- the kernel memory port's
+        #: direct-mapped translation cache -- watch this counter: while it
+        #: is unchanged, any translation they captured after a ``translate``
+        #: call is still resident in the TLB, so replaying it is exactly a
+        #: TLB hit (1 cycle), never a skipped page-table walk.
+        self.tlb_version = 0
 
     # -- control ---------------------------------------------------------------
 
@@ -69,11 +76,13 @@ class MMU:
 
     def flush_tlb(self) -> None:
         self._tlb.clear()
+        self.tlb_version += 1
         self.clock.charge("tlb_flush")
 
     def invalidate(self, vaddr: int) -> None:
         """invlpg: drop one translation from the TLB."""
         self._tlb.pop((self.root, (vaddr & _VA_MASK) // PAGE_SIZE), None)
+        self.tlb_version += 1
 
     # -- translation -------------------------------------------------------------
 
@@ -90,6 +99,7 @@ class MMU:
             frame, flags = self._walk(vaddr)
             if len(self._tlb) >= TLB_CAPACITY:
                 self._tlb.clear()
+                self.tlb_version += 1
             self._tlb[(self.root, vpn)] = (frame, flags)
         self._check_access(vaddr, flags, write=write, user=user,
                            execute=execute)

@@ -33,6 +33,7 @@ from repro.hardware.memory import PAGE_SIZE
 from repro.hardware.platform import Machine
 
 _U64 = (1 << 64) - 1
+_VA48 = (1 << 48) - 1          # hardware translation uses 48-bit VAs
 
 
 class SupervisorMemoryPort:
@@ -52,6 +53,47 @@ class SupervisorMemoryPort:
         #: set by the kernel: fault_in(vaddr, write) -> bool materializes
         #: a demand-paged user page (the copyout fault-handler path)
         self.fault_in = None
+        # Direct-mapped translation cache mirroring the hardware TLB:
+        # vpn -> (physical page base, backing frame bytearray), filled
+        # only from successful ``translate`` calls and discarded whenever
+        # the TLB loses any entry (``mmu.tlb_version``). A hit here is
+        # therefore *provably* a TLB hit in the hardware model, so it
+        # charges exactly the ``tlb_hit`` cycle the MMU would have
+        # charged -- the cache skips the host-side Python of the walk
+        # machinery, never simulated work. Caching the frame's backing
+        # bytearray (stable for a frame's lifetime; ``zero_frame``
+        # mutates in place) lets word-sized accesses slice it directly.
+        # Read and write permissions are cached separately because
+        # ``translate`` checks PTE_WRITE per access.
+        self._tcache_read: dict[int, tuple[int, bytearray]] = {}
+        self._tcache_write: dict[int, tuple[int, bytearray]] = {}
+        self._tcache_version = -1
+
+    # -- cached translation ---------------------------------------------------
+
+    def _cached_translate(self, vaddr: int, *, write: bool) -> int:
+        mmu = self.machine.mmu
+        if mmu.tlb_version != self._tcache_version:
+            self._tcache_read.clear()
+            self._tcache_write.clear()
+            self._tcache_version = mmu.tlb_version
+        cache = self._tcache_write if write else self._tcache_read
+        vpn = (vaddr & _VA48) // PAGE_SIZE
+        entry = cache.get(vpn)
+        if entry is not None:
+            mmu.clock.charge("tlb_hit")
+            return entry[0] + (vaddr & (PAGE_SIZE - 1))
+        paddr = self._translate(vaddr, write=write)
+        # The translate above inserted the entry into the TLB; if doing so
+        # cleared the TLB (capacity), the version moved and the fill below
+        # would be stale -- resync first.
+        if mmu.tlb_version != self._tcache_version:
+            self._tcache_read.clear()
+            self._tcache_write.clear()
+            self._tcache_version = mmu.tlb_version
+        base = paddr - (vaddr & (PAGE_SIZE - 1))
+        cache[vpn] = (base, self.machine.phys.frame(base // PAGE_SIZE))
+        return paddr
 
     # -- byte interface -----------------------------------------------------
 
@@ -62,7 +104,7 @@ class SupervisorMemoryPort:
         while remaining > 0:
             chunk = min(remaining, PAGE_SIZE - (cursor % PAGE_SIZE))
             try:
-                paddr = self._translate(cursor, write=False)
+                paddr = self._cached_translate(cursor, write=False)
                 out += self.machine.phys.read(paddr, chunk)
             except TranslationFault:
                 self.stray_reads += 1
@@ -77,7 +119,7 @@ class SupervisorMemoryPort:
         while view.nbytes > 0:
             chunk = min(view.nbytes, PAGE_SIZE - (cursor % PAGE_SIZE))
             try:
-                paddr = self._translate(cursor, write=True)
+                paddr = self._cached_translate(cursor, write=True)
                 self.machine.phys.write(paddr, bytes(view[:chunk]))
             except TranslationFault:
                 self.stray_writes += 1
@@ -95,9 +137,69 @@ class SupervisorMemoryPort:
     # -- MemoryPort protocol (used by the module interpreter) -----------------
 
     def load(self, addr: int, width: int) -> int:
+        addr &= _U64
+        offset = addr & (PAGE_SIZE - 1)
+        if offset + width <= PAGE_SIZE:
+            # Inlined translation-cache hit (the interpreter's hottest
+            # host path); the miss side falls back to _cached_translate.
+            mmu = self.machine.mmu
+            if mmu.tlb_version != self._tcache_version:
+                self._tcache_read.clear()
+                self._tcache_write.clear()
+                self._tcache_version = mmu.tlb_version
+            entry = self._tcache_read.get((addr & _VA48) // PAGE_SIZE)
+            if entry is not None:
+                # charge("tlb_hit") unrolled -- same accounting, no call.
+                clock = mmu.clock
+                cost = clock._cost_table["tlb_hit"]
+                clock.cycles += cost
+                clock.counters["tlb_hit"] = \
+                    clock.counters.get("tlb_hit", 0) + 1
+                clock.cycles_by_kind["tlb_hit"] = \
+                    clock.cycles_by_kind.get("tlb_hit", 0) + cost
+                store = entry[1]
+                return int.from_bytes(store[offset:offset + width],
+                                      "little")
+            try:
+                paddr = self._cached_translate(addr, write=False)
+            except TranslationFault:
+                self.stray_reads += 1
+                return 0
+            return int.from_bytes(self.machine.phys.read(paddr, width),
+                                  "little")
         return int.from_bytes(self.read_bytes(addr, width), "little")
 
     def store(self, addr: int, width: int, value: int) -> None:
+        addr &= _U64
+        offset = addr & (PAGE_SIZE - 1)
+        if offset + width <= PAGE_SIZE:
+            data = (value & ((1 << (8 * width)) - 1)).to_bytes(
+                width, "little")
+            mmu = self.machine.mmu
+            if mmu.tlb_version != self._tcache_version:
+                self._tcache_read.clear()
+                self._tcache_write.clear()
+                self._tcache_version = mmu.tlb_version
+            entry = self._tcache_write.get((addr & _VA48) // PAGE_SIZE)
+            if entry is not None:
+                # charge("tlb_hit") unrolled -- same accounting, no call.
+                clock = mmu.clock
+                cost = clock._cost_table["tlb_hit"]
+                clock.cycles += cost
+                clock.counters["tlb_hit"] = \
+                    clock.counters.get("tlb_hit", 0) + 1
+                clock.cycles_by_kind["tlb_hit"] = \
+                    clock.cycles_by_kind.get("tlb_hit", 0) + cost
+                store = entry[1]
+                store[offset:offset + width] = data
+                return
+            try:
+                paddr = self._cached_translate(addr, write=True)
+            except TranslationFault:
+                self.stray_writes += 1
+                return
+            self.machine.phys.write(paddr, data)
+            return
         self.write_bytes(addr, (value & ((1 << (8 * width)) - 1))
                          .to_bytes(width, "little"))
 

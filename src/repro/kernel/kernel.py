@@ -161,11 +161,15 @@ class Scheduler:
 class Kernel:
     """A booted OS instance."""
 
-    def __init__(self, machine: Machine, config: VGConfig | None = None):
+    def __init__(self, machine: Machine, config: VGConfig | None = None,
+                 *, interp_limits=None):
         self.machine = machine
         self.config = config or VGConfig.virtual_ghost()
         self.vm = SVAVM(machine, self.config)
         self.ctx = KernelContext(machine, self.config)
+        #: Default ExecutionLimits for kernel-module interpreters (None =
+        #: interpreter defaults); per-load ``limits=`` still wins.
+        self.interp_limits = interp_limits
 
         self.kernel_root = 0
         self.vmm: VirtualMemoryManager | None = None

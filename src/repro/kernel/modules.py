@@ -77,6 +77,8 @@ class ModuleLoader:
         externs = self.kernel.standard_externs()
         if extra_externs:
             externs.update(extra_externs)
+        if limits is None:
+            limits = self.kernel.interp_limits
         interpreter = vm.make_interpreter(
             image, self.kernel.ctx.port, externs=externs,
             stack_top=stack_top, limits=limits)

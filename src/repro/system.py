@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.compiler.interp import ExecutionLimits
 from repro.core.config import VGConfig
 from repro.core.keymgmt import SignedExecutable
 from repro.hardware.clock import CostModel, cycles_to_seconds, cycles_to_us
@@ -36,14 +37,23 @@ class System:
     def create(cls, config: VGConfig | None = None, *,
                memory_mb: int = 64, disk_mb: int = 64,
                costs: CostModel | None = None,
-               serial: bytes = b"vg-machine-0") -> "System":
+               serial: bytes = b"vg-machine-0",
+               interp_limits: ExecutionLimits | None = None) -> "System":
+        """Assemble and boot a system.
+
+        ``interp_limits`` overrides the default
+        :class:`~repro.compiler.interp.ExecutionLimits` (step budget and
+        call depth) for every kernel module loaded afterwards; a
+        per-module ``loader.load(..., limits=...)`` still takes
+        precedence.
+        """
         config = config or VGConfig.virtual_ghost()
         machine = Machine(MachineConfig(
             memory_frames=memory_mb * 256,
             disk_sectors=disk_mb * 2048,
             serial=serial,
             costs=costs))
-        kernel = Kernel(machine, config)
+        kernel = Kernel(machine, config, interp_limits=interp_limits)
         kernel.boot()
         return cls(machine=machine, kernel=kernel, config=config)
 

@@ -1,0 +1,496 @@
+"""Fast tier vs reference tier: every simulated observable must match.
+
+The predecoded fast tier exists purely for host-side speed; the two
+tiers must be indistinguishable from inside the simulation. For every
+program below -- including error paths, security paths, and programs
+that observe the clock mid-run through an extern -- both tiers must
+produce identical:
+
+* return values (or exception type and message),
+* ``clock.cycles``, ``counters``, ``cycles_by_kind``,
+* ``steps_executed`` and ``cfi_violations``,
+* final memory contents.
+"""
+
+import pytest
+
+from repro.compiler.codegen import CodeGenerator
+from repro.compiler.interp import ExecutionLimits, Interpreter
+from repro.compiler.parser import parse_module
+from repro.compiler.verifier import verify_module
+from repro.core.config import VGConfig
+from repro.core.layout import KERNEL_CODE_START
+from repro.errors import CFIViolation, InterpreterError
+from repro.hardware.clock import CycleClock
+from repro.system import System
+
+CODE_BASE = KERNEL_CODE_START + 0x100000
+DATA_BASE = KERNEL_CODE_START + 0x200000
+STACK_TOP = KERNEL_CODE_START + 0x300000
+
+
+class DictMemory:
+    """Byte-addressable memory whose final state can be compared."""
+
+    def __init__(self):
+        self.bytes: dict[int, int] = {}
+
+    def load(self, addr, width):
+        return int.from_bytes(
+            bytes(self.bytes.get(addr + i, 0) for i in range(width)),
+            "little")
+
+    def store(self, addr, width, value):
+        for i, b in enumerate((value & ((1 << (8 * width)) - 1))
+                              .to_bytes(width, "little")):
+            self.bytes[addr + i] = b
+
+    def copy(self, dst, src, length):
+        data = [self.bytes.get(src + i, 0) for i in range(length)]
+        for i, b in enumerate(data):
+            self.bytes[dst + i] = b
+
+    def fill(self, dst, byte, length):
+        for i in range(length):
+            self.bytes[dst + i] = byte & 0xFF
+
+
+def _observe(source, fn, args, *, reference, externs=None, limits=None):
+    """Run one tier on completely fresh state; capture every observable."""
+    module = parse_module(source)
+    verify_module(module)
+    image = CodeGenerator(CODE_BASE, DATA_BASE).generate(module)
+    memory = DictMemory()
+    clock = CycleClock()
+    extern_log: list = []
+    built_externs = {name: factory(clock, extern_log)
+                     for name, factory in (externs or {}).items()}
+    interp = Interpreter(image, memory, clock, externs=built_externs,
+                         stack_top=STACK_TOP, limits=limits,
+                         reference=reference)
+    try:
+        outcome = ("value", interp.run(fn, list(args)))
+    except (InterpreterError, CFIViolation) as exc:
+        outcome = ("error", type(exc).__name__, str(exc))
+    return {
+        "outcome": outcome,
+        "cycles": clock.cycles,
+        "counters": dict(clock.counters),
+        "cycles_by_kind": dict(clock.cycles_by_kind),
+        "steps_executed": interp.steps_executed,
+        "cfi_violations": interp.cfi_violations,
+        "memory": dict(memory.bytes),
+        "extern_log": extern_log,
+    }
+
+
+def assert_tiers_agree(source, fn, args=(), *, externs=None, limits=None):
+    fast = _observe(source, fn, args, reference=False,
+                    externs=externs, limits=limits)
+    reference = _observe(source, fn, args, reference=True,
+                         externs=externs, limits=limits)
+    assert fast == reference
+    return fast
+
+
+# -- straight-line and arithmetic -------------------------------------------------
+
+def test_alu_mix():
+    observed = assert_tiers_agree("""
+module t
+func @f(%x) {
+entry:
+  %a = add %x, 41
+  %b = mul %a, 3
+  %c = xor %b, 0x5555
+  %d = lshr %c, 2
+  %e = shl %d, 1
+  %g = sub %e, %x
+  %h = and %g, 0xffff
+  %i = or %h, 1
+  %j = not %i
+  %k = ashr %j, 60
+  %m = icmp slt %k, 0
+  %n = select %m, %i, %j
+  ret %n
+}
+""", "f", [7])
+    assert observed["outcome"][0] == "value"
+    assert observed["counters"]["instr"] == 12
+
+
+def test_signed_ops_and_division():
+    assert_tiers_agree("""
+module t
+func @f(%x, %y) {
+entry:
+  %q = sdiv %x, %y
+  %r = urem %x, 3
+  %u = udiv %x, %y
+  %s = icmp sge %q, %r
+  %t = add %s, %u
+  ret %t
+}
+""", "f", [(-91) % 2 ** 64, 7])
+
+
+# -- control flow (runs, fused condbr, calls) -----------------------------------
+
+def test_loop_and_calls():
+    observed = assert_tiers_agree("""
+module t
+global @acc 8
+func @step(%v) {
+entry:
+  %old = load8 @acc
+  %new = add %old, %v
+  store8 %new, @acc
+  ret %new
+}
+func @f(%n) {
+entry:
+  %i = mov 0
+  br loop
+loop:
+  %c = icmp ult %i, %n
+  condbr %c, body, done
+body:
+  %r = call @step(%i)
+  %i = add %i, 1
+  br loop
+done:
+  %total = load8 @acc
+  ret %total
+}
+""", "f", [25])
+    assert observed["outcome"] == ("value", sum(range(25)))
+
+
+def test_recursion():
+    assert_tiers_agree("""
+module t
+func @fib(%n) {
+entry:
+  %base = icmp ult %n, 2
+  condbr %base, leaf, rec
+leaf:
+  ret %n
+rec:
+  %n1 = sub %n, 1
+  %a = call @fib(%n1)
+  %n2 = sub %n, 2
+  %b = call @fib(%n2)
+  %s = add %a, %b
+  ret %s
+}
+""", "fib", [11])
+
+
+def test_memcpy_memset_alloca():
+    observed = assert_tiers_agree("""
+module t
+global @src 32 = "abcdefgh01234567abcdefgh01234567"
+global @dst 32
+func @f() {
+entry:
+  %buf = alloca 64
+  memset %buf, 0xAB, 48
+  memcpy @dst, @src, 32
+  %v = load8 @dst
+  store4 %v, %buf
+  %w = load2 %buf
+  store1 %w, @dst
+  %out = load8 @dst
+  ret %out
+}
+""", "f", [])
+    assert observed["memory"]        # both tiers wrote the same bytes
+
+
+# -- error paths -----------------------------------------------------------------
+
+def test_division_by_zero_mid_run():
+    observed = assert_tiers_agree("""
+module t
+func @f(%x) {
+entry:
+  %a = add %x, 1
+  %b = mul %a, 2
+  %q = udiv %b, 0
+  %c = add %q, 1
+  ret %c
+}
+""", "f", [5])
+    assert observed["outcome"][0] == "error"
+    # the prefix plus the failing instruction's own charge settled
+    # (charge precedes evaluation, in both tiers)
+    assert observed["counters"]["instr"] == 3
+
+
+def test_step_limit_reports_function_and_steps():
+    observed = assert_tiers_agree("""
+module t
+func @f() {
+entry:
+  %i = mov 0
+  br loop
+loop:
+  %i = add %i, 1
+  br loop
+}
+""", "f", [], limits=ExecutionLimits(max_steps=1000))
+    kind, name, message = observed["outcome"]
+    assert kind == "error"
+    assert "1001 steps executed" in message
+    assert "in @f" in message
+    assert "max_steps=1000" in message
+    assert observed["steps_executed"] == 1001
+
+
+def test_step_limit_inside_straight_line_run():
+    # The budget expires in the middle of a predecoded run; the partial
+    # run's charges and step count must match per-step execution.
+    source = """
+module t
+func @f(%x) {
+entry:
+  %a = add %x, 1
+  %b = add %a, 1
+  %c = add %b, 1
+  %d = add %c, 1
+  %e = add %d, 1
+  ret %e
+}
+"""
+    for max_steps in (1, 2, 3, 4, 5, 6, 7):
+        observed = assert_tiers_agree(
+            source, "f", [1],
+            limits=ExecutionLimits(max_steps=max_steps))
+        if max_steps >= 6:
+            assert observed["outcome"] == ("value", 6)
+        else:
+            assert observed["outcome"][0] == "error"
+
+
+def test_call_depth_limit():
+    assert_tiers_agree("""
+module t
+func @f(%n) {
+entry:
+  %m = add %n, 1
+  %r = call @f(%m)
+  ret %r
+}
+""", "f", [0], limits=ExecutionLimits(max_call_depth=17))
+
+
+def test_undefined_register_message():
+    observed = assert_tiers_agree("""
+module t
+func @g(%flag) {
+entry:
+  condbr %flag, set, use
+set:
+  %v = mov 42
+  br use
+use:
+  %r = add %v, 1
+  ret %r
+}
+""", "g", [0])
+    kind, name, message = observed["outcome"]
+    assert kind == "error"
+    assert "%v" in message and "@g" in message
+
+
+def test_unknown_extern():
+    assert_tiers_agree("""
+module t
+extern @mystery/1
+func @f(%x) {
+entry:
+  %r = call @mystery(%x)
+  ret %r
+}
+""", "f", [9])
+
+
+# -- extern boundary: the only mid-run clock observation point -------------------
+
+def test_extern_observes_flushed_clock():
+    """Externs run host code that may read the clock; batching must be
+    settled before every extern call so both tiers expose identical
+    intermediate cycles, not just identical totals."""
+
+    def spy_factory(clock, log):
+        def spy(args):
+            log.append((clock.cycles, dict(clock.counters), list(args)))
+            return args[0] * 2
+        return spy
+
+    observed = assert_tiers_agree("""
+module t
+extern @spy/1
+func @f(%n) {
+entry:
+  %i = mov 0
+  %acc = mov 0
+  br loop
+loop:
+  %c = icmp ult %i, %n
+  condbr %c, body, done
+body:
+  %r = call @spy(%i)
+  %acc = add %acc, %r
+  %i = add %i, 1
+  br loop
+done:
+  ret %acc
+}
+""", "f", [6], externs={"spy": spy_factory})
+    assert len(observed["extern_log"]) == 6
+    # the log entries are (cycles, counters, args) snapshots: strictly
+    # increasing cycles proves the flush happened before each call
+    cycle_marks = [entry[0] for entry in observed["extern_log"]]
+    assert cycle_marks == sorted(cycle_marks)
+
+
+# -- instrumented modules under a full system ------------------------------------
+
+VULNERABLE_MODULE = """
+module vulnmod
+
+extern @klog/2
+
+global @pwned 8
+global @banner 16 = "kernel pwned"
+
+func @grant_root() {
+entry:
+  store8 1, @pwned
+  %r = call @klog(@banner, 12)
+  ret 0
+}
+
+func @parse_packet(%value, %offset) {
+entry:
+  %buf = alloca 32
+  %slot = add %buf, %offset
+  store8 %value, %slot
+  ret 0
+}
+
+func @handle(%value, %offset) {
+entry:
+  %r = call @parse_packet(%value, %offset)
+  ret %r
+}
+"""
+
+
+def _system_observe(reference, config, call_args):
+    system = System.create(config, memory_mb=32)
+    module = system.kernel.loader.load(VULNERABLE_MODULE)
+    module.interpreter.reference = reference
+    clock = system.machine.clock
+    start = clock.cycles
+    try:
+        outcome = ("value", module.call("handle", list(call_args)))
+    except (InterpreterError, CFIViolation) as exc:
+        outcome = ("error", type(exc).__name__, str(exc))
+    return {
+        "outcome": outcome,
+        "cycles": clock.cycles - start,
+        "counters": dict(clock.counters),
+        "cycles_by_kind": dict(clock.cycles_by_kind),
+        "steps_executed": module.interpreter.steps_executed,
+        "cfi_violations": module.interpreter.cfi_violations,
+    }
+
+
+@pytest.mark.parametrize("config_name", ["native", "virtual_ghost"])
+def test_instrumented_module_benign(config_name):
+    config = getattr(VGConfig, config_name)()
+    fast = _system_observe(False, config, [0x41414141, 0])
+    reference = _system_observe(True, config, [0x41414141, 0])
+    assert fast == reference
+    assert fast["outcome"] == ("value", 0)
+
+
+def test_cfi_violation_path():
+    """ROP into a function middle: the CFI check fires identically --
+    same exception, same charges up to the violation."""
+    config = VGConfig.virtual_ghost()
+    results = []
+    for reference in (False, True):
+        system = System.create(config, memory_mb=32)
+        module = system.kernel.loader.load(VULNERABLE_MODULE)
+        module.interpreter.reference = reference
+        gadget_mid = module.image.functions["grant_root"].base + 2
+        clock = system.machine.clock
+        start = clock.cycles
+        with pytest.raises(CFIViolation) as excinfo:
+            module.call("handle", [gadget_mid, 32])
+        results.append({
+            "message": str(excinfo.value),
+            "cycles": clock.cycles - start,
+            "counters": dict(clock.counters),
+            "violations": module.interpreter.cfi_violations,
+        })
+    assert results[0] == results[1]
+    assert results[0]["violations"] == 1
+
+
+def test_return_hijack_to_function_entry():
+    """The single-label scheme permits returns to function entries; the
+    hijacked continuation (different function, different frame layout)
+    must behave identically in both tiers."""
+    config = VGConfig.virtual_ghost()
+    results = []
+    for reference in (False, True):
+        system = System.create(config, memory_mb=32)
+        module = system.kernel.loader.load(VULNERABLE_MODULE)
+        module.interpreter.reference = reference
+        gadget = module.image.functions["grant_root"].base
+        clock = system.machine.clock
+        start = clock.cycles
+        value = module.call("handle", [gadget, 32])
+        results.append({
+            "value": value,
+            "cycles": clock.cycles - start,
+            "counters": dict(clock.counters),
+            "pwned": system.kernel.ctx.port.load(
+                module.global_addr("pwned"), 8),
+        })
+    assert results[0] == results[1]
+    assert results[0]["pwned"] == 1
+
+
+def test_rootkit_direct_read_attack_equivalent():
+    """The full rootkit module (hooked syscall path, multi-function
+    attack flow, real kernel externs) runs identically in both tiers --
+    and under Virtual Ghost both tiers steal only masked zeros."""
+    import os
+
+    from tests.security.test_rootkit import _run_attack
+
+    results = []
+    for reference in (False, True):
+        os.environ["REPRO_INTERP_TIER"] = (
+            "reference" if reference else "")
+        try:
+            system, victim, result, status = _run_attack(
+                VGConfig.virtual_ghost(), mode=1)
+        finally:
+            os.environ.pop("REPRO_INTERP_TIER", None)
+        results.append({
+            "console_leak": result.console_leak,
+            "file_leak": result.file_leak,
+            "victim_alive": result.victim_alive,
+            "exploit_ran": result.exploit_ran,
+            "cycles": system.machine.clock.cycles,
+            "counters": dict(system.machine.clock.counters),
+            "status": status,
+        })
+    assert results[0] == results[1]
+    assert not (results[0]["console_leak"] or results[0]["file_leak"])

@@ -41,6 +41,52 @@ def test_charge_cycles_raw():
     assert clock.counters["custom"] == 1
 
 
+def test_charge_cycles_units_records_event_count():
+    clock = CycleClock()
+    clock.charge_cycles("folded", 500, units=25)
+    assert clock.cycles == 500
+    assert clock.counters["folded"] == 25
+    assert clock.cycles_by_kind["folded"] == 500
+
+
+def test_charge_cycles_negative_units_rejected():
+    clock = CycleClock()
+    with pytest.raises(ValueError):
+        clock.charge_cycles("x", 10, units=-1)
+
+
+def test_charge_batch_equals_individual_charges():
+    batch = {"instr": 17, "mem_access": 5, "mask_check": 5, "ret": 2}
+    batched = CycleClock()
+    total = batched.charge_batch(batch)
+    individual = CycleClock()
+    expected = sum(individual.charge(kind, units)
+                   for kind, units in batch.items())
+    assert total == expected
+    assert batched.cycles == individual.cycles
+    assert batched.counters == individual.counters
+    assert batched.cycles_by_kind == individual.cycles_by_kind
+
+
+def test_charge_batch_empty_is_noop():
+    clock = CycleClock()
+    assert clock.charge_batch({}) == 0
+    assert clock.cycles == 0
+    assert not clock.counters
+
+
+def test_charge_batch_rejects_unknown_kind():
+    clock = CycleClock()
+    with pytest.raises(ValueError):
+        clock.charge_batch({"instr": 1, "warp_drive": 2})
+
+
+def test_charge_batch_rejects_negative_units():
+    clock = CycleClock()
+    with pytest.raises(ValueError):
+        clock.charge_batch({"instr": -4})
+
+
 def test_micros_conversion():
     clock = CycleClock()
     clock.charge_cycles("x", int(CYCLES_PER_US * 5))

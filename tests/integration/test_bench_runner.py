@@ -1,0 +1,82 @@
+"""Parallel benchmark runner: determinism and worker-count invariance.
+
+The runner fans simulation points across worker processes; simulated
+results must not depend on scheduling. Two invocations -- and different
+worker counts -- must produce byte-identical ``results`` sections
+(wall-clock and similar host facts are confined to ``meta``).
+"""
+
+import importlib.util
+import json
+import multiprocessing
+import sys
+from pathlib import Path
+
+import pytest
+
+_RUNNER_PATH = (Path(__file__).resolve().parents[2]
+                / "benchmarks" / "runner.py")
+_spec = importlib.util.spec_from_file_location("bench_runner",
+                                               _RUNNER_PATH)
+runner = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_runner", runner)
+_spec.loader.exec_module(runner)
+
+# A tiny grid keeps this inside tier-1 budgets: one table, small sizes.
+_GRID = dict(tables=("table5",), transactions=40)
+
+
+def _results_bytes(documents):
+    """The deterministic section of each document, canonically encoded."""
+    return {name: json.dumps(doc["results"], sort_keys=True)
+            for name, doc in documents.items()}
+
+
+def test_two_invocations_identical_in_process(tmp_path):
+    first = runner.run_grid(workers=1, out_dir=str(tmp_path / "a"),
+                            **_GRID)
+    second = runner.run_grid(workers=1, out_dir=str(tmp_path / "b"),
+                             **_GRID)
+    assert _results_bytes(first) == _results_bytes(second)
+
+
+def test_parallel_matches_in_process(tmp_path):
+    if not hasattr(multiprocessing, "get_context"):
+        pytest.skip("no multiprocessing on this host")
+    serial = runner.run_grid(workers=1, **_GRID)
+    parallel = runner.run_grid(workers=2, out_dir=str(tmp_path), **_GRID)
+    assert _results_bytes(serial) == _results_bytes(parallel)
+    # the parallel invocation really used the pool
+    assert all(doc["meta"]["workers"] == 2 for doc in parallel.values())
+
+
+def test_written_files_deterministic_modulo_meta(tmp_path):
+    runner.run_grid(workers=1, out_dir=str(tmp_path / "x"), **_GRID)
+    runner.run_grid(workers=1, out_dir=str(tmp_path / "y"), **_GRID)
+    for name in _GRID["tables"]:
+        out_name = runner._OUT_NAMES[name]
+        docs = []
+        for sub in ("x", "y"):
+            with open(tmp_path / sub / out_name) as handle:
+                docs.append(json.load(handle))
+        assert (json.dumps(docs[0]["results"], sort_keys=True)
+                == json.dumps(docs[1]["results"], sort_keys=True))
+        # wall-clock facts live in meta, never in results
+        assert "wall_seconds" in docs[0]["meta"]
+
+
+def test_interpreter_tier_does_not_change_results(monkeypatch):
+    """Simulated benchmark tables are tier-independent: forcing the
+    reference interpreter tier must reproduce the fast tier's results."""
+    fast = runner.run_grid(workers=1, **_GRID)
+    monkeypatch.setenv("REPRO_INTERP_TIER", "reference")
+    reference = runner.run_grid(workers=1, **_GRID)
+    assert _results_bytes(fast) == _results_bytes(reference)
+
+
+def test_enumerate_points_stable_order():
+    kwargs = dict(iterations=5, count=8, transactions=40)
+    once = runner.enumerate_points(("table2", "table3"), **kwargs)
+    twice = runner.enumerate_points(("table2", "table3"), **kwargs)
+    assert once == twice
+    assert len(once) > 2
