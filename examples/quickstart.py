@@ -58,6 +58,12 @@ def main():
     proc = system.spawn("/bin/keeper")
     status = system.run_until_exit(proc)
     print(f"application exited with status {status}")
+    if "region" not in keeper.report:
+        # Under fault injection (REPRO_FAULT_SEED) the app can be
+        # killed by e.g. a transient ENOMEM before stashing its secret.
+        print("application died before protecting its secret "
+              "(fault injection active?) -- nothing to show")
+        return
     print(f"secret lives in the '{keeper.report['region']}' partition "
           f"at {keeper.secret_addr:#x}")
     print(f"application's own read : {keeper.report['self_read']!r}")

@@ -103,11 +103,21 @@ class RandomIagoResult:
 
 def run_random_iago(kernel: Kernel) -> RandomIagoResult:
     """Subvert /dev/random to return all-zero bytes; check the trusted
-    RNG still produces varied output."""
-    kernel.devfs.random.subversion = lambda n: bytes(n)
-    rigged = kernel.devfs.random.read(0, 32)
-    trusted_a = kernel.vm.sva_random(32)
-    trusted_b = kernel.vm.sva_random(32)
+    RNG still produces varied output.
+
+    The subversion is scoped to this attack run: the previous hook is
+    restored on every exit path so the rigged RNG never leaks into
+    later uses of the same kernel.
+    """
+    device = kernel.devfs.random
+    saved_subversion = device.subversion
+    device.subversion = lambda n: bytes(n)
+    try:
+        rigged = device.read(0, 32)
+        trusted_a = kernel.vm.sva_random(32)
+        trusted_b = kernel.vm.sva_random(32)
+    finally:
+        device.subversion = saved_subversion
     return RandomIagoResult(
         os_random_constant=rigged == bytes(32),
         sva_random_unaffected=(trusted_a != bytes(32)

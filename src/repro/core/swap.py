@@ -15,16 +15,26 @@ from __future__ import annotations
 
 from repro.crypto.signing import authenticated_decrypt, authenticated_encrypt
 from repro.errors import SecurityViolation, SignatureError
+from repro.faults import NO_FAULTS, FaultPlan
 from repro.hardware.clock import CycleClock
 from repro.hardware.memory import PAGE_SIZE
 
 
 class SwapService:
-    """Encrypt/verify ghost pages on their way to and from the OS."""
+    """Encrypt/verify ghost pages on their way to and from the OS.
 
-    def __init__(self, swap_key: bytes, clock: CycleClock):
+    The fault site ``crypto.verify`` can force a
+    :class:`~repro.errors.SignatureError` on an otherwise valid blob --
+    modelling a verification-path failure -- which surfaces exactly like
+    real tampering: a :class:`~repro.errors.SecurityViolation` with
+    ``pages_in`` unchanged (fail closed, never wrong contents).
+    """
+
+    def __init__(self, swap_key: bytes, clock: CycleClock,
+                 faults: FaultPlan | None = None):
         self._key = swap_key
         self.clock = clock
+        self.faults = faults if faults is not None else NO_FAULTS
         self._nonce_counter = 0
         self.pages_out = 0
         self.pages_in = 0
@@ -46,6 +56,10 @@ class SwapService:
         self.clock.charge("aes_block", PAGE_SIZE // 16)
         self.clock.charge("sha_block", PAGE_SIZE // 64)
         try:
+            if self.faults.decide("crypto.verify",
+                                  f"pid={pid} vaddr={vaddr:#x}") is not None:
+                raise SignatureError(
+                    "swap-blob verification failure (injected)")
             page = authenticated_decrypt(self._key, blob,
                                          aad=_binding(pid, vaddr))
         except SignatureError as exc:

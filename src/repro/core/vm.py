@@ -80,7 +80,8 @@ class SVAVM:
         self.ghosts = GhostManager()
         self.ics = ICRegistry()
         self.keys = KeyManager.bootstrap(machine.tpm, self.clock)
-        self.swap = SwapService(self.keys.swap_key, self.clock)
+        self.swap = SwapService(self.keys.swap_key, self.clock,
+                                faults=machine.faults)
         self.drbg = HmacDRBG(machine.tpm.entropy(48))
 
         self.frame_source: FrameSource | None = None

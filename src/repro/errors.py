@@ -47,6 +47,26 @@ class IOMMUFault(HardwareError):
     """A DMA request was rejected by the IOMMU."""
 
 
+class DeviceFault(HardwareError):
+    """A transient device-level failure (usually injected by a
+    :class:`~repro.faults.FaultPlan`).
+
+    Device models raise this at the point of failure; kernel drivers
+    translate it into an errno-style :class:`SyscallError` (EIO) at the
+    kernel boundary. It must never escape to application code raw.
+
+    Attributes:
+        site: the fault-injection site that produced it.
+        kind: the fault kind (e.g. ``io_error``, ``torn_write``).
+    """
+
+    def __init__(self, site: str, kind: str, message: str = ""):
+        self.site = site
+        self.kind = kind
+        detail = f": {message}" if message else ""
+        super().__init__(f"{site}/{kind}{detail}")
+
+
 class SecurityViolation(ReproError):
     """A Virtual Ghost run-time check rejected an operation.
 

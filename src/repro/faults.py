@@ -1,0 +1,288 @@
+"""Deterministic fault injection across the machine model (``repro.faults``).
+
+The paper's threat model is an OS that may *deny service at any point*
+(section 3.3, section 7): refuse a swap-in, fail a disk transfer, drop a
+packet. Virtual Ghost only promises that such failures never become
+integrity or confidentiality breaks. This module makes those failures
+*reproducible*: a :class:`FaultPlan` is built from a seed plus per-site
+:class:`FaultSpec` entries and consulted at named injection sites
+throughout the hardware and kernel. Every roll is drawn from a per-site
+HMAC-DRBG stream, so:
+
+* two runs with the same seed inject the identical fault sequence
+  (bit-reproducible fault logs and simulated results);
+* sites are independent -- consulting one site more or fewer times never
+  shifts another site's stream;
+* with no plan configured, every site sees the shared inert plan and the
+  simulation is bit-identical to a build without fault injection.
+
+Injected faults always surface as *defined* simulation outcomes -- a
+unix-style errno (:class:`~repro.errors.SyscallError`), a
+:class:`~repro.errors.SecurityViolation`, a
+:class:`~repro.errors.DeviceFault` translated at the kernel boundary, or
+a documented degradation (counted retransmissions, dead letters) -- never
+as a stray Python traceback. ``tests/faults/`` holds the soak test that
+enforces this invariant.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.crypto.drbg import HmacDRBG
+
+#: Every named injection site and the fault kinds it understands.
+#: Sites are consulted by the component that owns them:
+#:
+#: ``disk.read``/``disk.write``
+#:     Programmed disk I/O (:class:`~repro.hardware.disk.Disk`).
+#:     ``io_error`` fails the transfer; ``torn_write`` persists only a
+#:     prefix of the sectors before failing.
+#: ``nic.tx``/``nic.rx``
+#:     The NIC (:class:`~repro.hardware.nic.NIC`). Link-layer faults are
+#:     absorbed by the (reliable) simulated transport: the payload is
+#:     still delivered exactly once, but the fault costs extra wire time
+#:     and is counted (``tx_dropped``/``tx_duplicated``/``tx_delayed``/
+#:     ``rx_dropped``).
+#: ``dma.transfer``
+#:     The DMA engine aborts the transfer atomically (nothing copied).
+#: ``kernel.frame_alloc``
+#:     The kernel frame allocator reports transient exhaustion (ENOMEM).
+#: ``fs.cache``
+#:     The simplefs buffer cache fails to allocate a buffer (ENOMEM).
+#: ``fs.alloc``
+#:     simplefs block/inode allocation reports ENOSPC.
+#: ``swap.store``
+#:     The OS-side store of swapped ghost blobs loses (``lost``) or
+#:     corrupts (``corrupt``) a blob. Surfaces as the paper's
+#:     "OS denies service" case (EIO) or as a SecurityViolation on the
+#:     tampered blob -- never as wrong ghost-page contents.
+#: ``crypto.verify``
+#:     Forces a :class:`~repro.errors.SignatureError` in swap-blob
+#:     verification (surfacing as a SecurityViolation).
+SITES: dict[str, tuple[str, ...]] = {
+    "disk.read": ("io_error",),
+    "disk.write": ("io_error", "torn_write"),
+    "nic.tx": ("drop", "dup", "delay"),
+    "nic.rx": ("drop",),
+    "dma.transfer": ("abort",),
+    "kernel.frame_alloc": ("enomem",),
+    "fs.cache": ("enomem",),
+    "fs.alloc": ("enospc",),
+    "swap.store": ("lost", "corrupt"),
+    "crypto.verify": ("forced_failure",),
+}
+
+_RESOLUTION = 1_000_000
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-site injection policy.
+
+    ``rate`` is the per-consultation injection probability; ``kinds``
+    restricts which of the site's fault kinds may fire (empty = all kinds
+    registered for the site in :data:`SITES`); ``max_faults`` caps total
+    injections at the site; ``skip_first`` lets that many consultations
+    pass before any roll happens (useful to spare setup phases).
+    """
+
+    rate: float = 0.0
+    kinds: tuple[str, ...] = ()
+    max_faults: int | None = None
+    skip_first: int = 0
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One entry in the structured fault log."""
+
+    seq: int                 # global order across all sites
+    site: str
+    kind: str
+    consultation: int        # nth consultation of that site (1-based)
+    detail: str
+    injected: bool           # False for handled-failure notes
+
+    def line(self) -> str:
+        tag = "inject" if self.injected else "note"
+        return (f"{self.seq:06d} {tag} {self.site} {self.kind} "
+                f"#{self.consultation} {self.detail}".rstrip())
+
+
+class FaultLog:
+    """Structured, diffable record of injected faults and handled errors."""
+
+    def __init__(self) -> None:
+        self.records: list[FaultRecord] = []
+
+    def record(self, site: str, kind: str, *, consultation: int = 0,
+               detail: str = "", injected: bool = True) -> FaultRecord:
+        rec = FaultRecord(seq=len(self.records), site=site, kind=kind,
+                          consultation=consultation, detail=detail,
+                          injected=injected)
+        self.records.append(rec)
+        return rec
+
+    def note(self, site: str, kind: str, detail: str = "") -> FaultRecord:
+        """Log a *handled* failure (not an injection) for observability."""
+        return self.record(site, kind, detail=detail, injected=False)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for rec in self.records:
+            key = f"{rec.site}/{rec.kind}"
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def to_lines(self) -> list[str]:
+        return [rec.line() for rec in self.records]
+
+    def to_text(self) -> str:
+        return "\n".join(self.to_lines())
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class _SiteState:
+    __slots__ = ("spec", "kinds", "drbg", "consultations", "injected")
+
+    def __init__(self, site: str, spec: FaultSpec, seed: bytes):
+        self.spec = spec
+        self.kinds = spec.kinds or SITES.get(site, ())
+        if not self.kinds:
+            raise ValueError(f"fault site {site!r} has no kinds")
+        # One independent stream per site: consulting site A never
+        # shifts site B's rolls.
+        self.drbg = HmacDRBG(seed + b"|site|" + site.encode())
+        self.consultations = 0
+        self.injected = 0
+
+
+def _normalize_seed(seed: bytes | str | int) -> bytes:
+    if isinstance(seed, bytes):
+        return seed
+    if isinstance(seed, str):
+        return seed.encode()
+    return int(seed).to_bytes(16, "big", signed=True)
+
+
+class FaultPlan:
+    """A seed-driven, deterministic injection plan over named sites.
+
+    The default plan (no specs) injects nothing and costs one dict
+    lookup per consultation, keeping fault-free runs bit-identical to a
+    build without fault injection.
+    """
+
+    def __init__(self, seed: bytes | str | int = b"",
+                 specs: Mapping[str, FaultSpec] | None = None, *,
+                 log: FaultLog | None = None):
+        self.seed = _normalize_seed(seed)
+        self.specs = dict(specs or {})
+        for site in self.specs:
+            if site not in SITES:
+                raise ValueError(f"unknown fault site {site!r} "
+                                 f"(known: {sorted(SITES)})")
+        self.log = log if log is not None else FaultLog()
+        self.armed = True
+        self._states = {site: _SiteState(site, spec, self.seed)
+                        for site, spec in self.specs.items()}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def arm(self) -> None:
+        """Enable injection (plans start armed; boot runs disarmed)."""
+        self.armed = True
+
+    def disarm(self) -> None:
+        """Suspend injection; consultations pass and are not counted."""
+        self.armed = False
+
+    @property
+    def injects_anything(self) -> bool:
+        return any(spec.rate > 0 for spec in self.specs.values())
+
+    # -- the hot path ------------------------------------------------------
+
+    def decide(self, site: str, detail: str = "") -> str | None:
+        """Consult the plan at ``site``; returns a fault kind or None.
+
+        Each armed consultation advances the site's private DRBG stream
+        by exactly one roll (plus one kind-selection roll when a fault
+        fires), so the decision sequence is a pure function of
+        (seed, site, consultation index).
+        """
+        state = self._states.get(site)
+        if state is None or not self.armed:
+            return None
+        state.consultations += 1
+        spec = state.spec
+        if state.consultations <= spec.skip_first:
+            return None
+        if spec.max_faults is not None and state.injected >= spec.max_faults:
+            return None
+        threshold = int(spec.rate * _RESOLUTION)
+        if threshold <= 0:
+            return None
+        if state.drbg.randint(_RESOLUTION) >= threshold:
+            return None
+        kind = (state.kinds[0] if len(state.kinds) == 1
+                else state.kinds[state.drbg.randint(len(state.kinds))])
+        state.injected += 1
+        self.log.record(site, kind, consultation=state.consultations,
+                        detail=detail)
+        return kind
+
+    # -- introspection -----------------------------------------------------
+
+    def consultations(self, site: str) -> int:
+        state = self._states.get(site)
+        return state.consultations if state is not None else 0
+
+    def injected(self, site: str | None = None) -> int:
+        if site is not None:
+            state = self._states.get(site)
+            return state.injected if state is not None else 0
+        return sum(s.injected for s in self._states.values())
+
+
+#: Shared inert plan used wherever no plan was configured. Nothing is
+#: ever recorded into it (``decide`` exits before touching the log), so
+#: sharing one instance across machines is safe.
+NO_FAULTS = FaultPlan()
+
+
+def soak_plan(seed: bytes | str | int, *, rate: float = 0.02,
+              sites: Iterable[str] | None = None,
+              max_faults_per_site: int | None = None) -> FaultPlan:
+    """A plan that exercises every (or the given) site at ``rate``."""
+    chosen = list(sites) if sites is not None else sorted(SITES)
+    specs = {site: FaultSpec(rate=rate, max_faults=max_faults_per_site)
+             for site in chosen}
+    return FaultPlan(seed, specs)
+
+
+def plan_from_env(environ: Mapping[str, str] | None = None
+                  ) -> FaultPlan | None:
+    """Build a plan from ``REPRO_FAULT_SEED`` (None when unset).
+
+    ``REPRO_FAULT_RATE`` (default 0.01) and ``REPRO_FAULT_SITES``
+    (comma-separated, default: every site) refine the plan.
+    """
+    env = os.environ if environ is None else environ
+    seed = env.get("REPRO_FAULT_SEED")
+    if seed is None or seed == "":
+        return None
+    rate = float(env.get("REPRO_FAULT_RATE", "0.01"))
+    sites_raw = env.get("REPRO_FAULT_SITES", "")
+    sites = ([s.strip() for s in sites_raw.split(",") if s.strip()]
+             or None)
+    return soak_plan(seed, rate=rate, sites=sites)
+
+
+__all__ = ["SITES", "FaultSpec", "FaultRecord", "FaultLog", "FaultPlan",
+           "NO_FAULTS", "soak_plan", "plan_from_env"]

@@ -7,11 +7,18 @@ Two access paths exist, matching real hardware:
 * ``dma_read_into``/``dma_write_from`` -- device-initiated DMA through the
   :class:`~repro.hardware.dma.DMAEngine`, hence subject to the IOMMU. The
   DMA attack in :mod:`repro.attacks.dma_attack` uses this path.
+
+Both paths consult the machine's :class:`~repro.faults.FaultPlan` (sites
+``disk.read``/``disk.write``): an ``io_error`` fails the transfer after
+the seek is charged, a ``torn_write`` persists only a prefix of the
+sectors before failing -- the on-disk state then mixes old and new
+contents until the block is rewritten, exactly like a real torn write.
 """
 
 from __future__ import annotations
 
-from repro.errors import HardwareError
+from repro.errors import DeviceFault, HardwareError
+from repro.faults import NO_FAULTS, FaultPlan
 from repro.hardware.clock import CycleClock
 from repro.hardware.dma import DMAEngine
 
@@ -21,12 +28,16 @@ SECTOR_SIZE = 512
 class Disk:
     """Sparse sector store (unwritten sectors read as zeros)."""
 
-    def __init__(self, num_sectors: int, clock: CycleClock):
+    def __init__(self, num_sectors: int, clock: CycleClock,
+                 faults: FaultPlan | None = None):
         if num_sectors <= 0:
             raise ValueError("disk needs at least one sector")
         self.num_sectors = num_sectors
         self.clock = clock
+        self.faults = faults if faults is not None else NO_FAULTS
         self._sectors: dict[int, bytes] = {}
+        self.read_errors = 0
+        self.write_errors = 0
 
     @property
     def size_bytes(self) -> int:
@@ -37,6 +48,11 @@ class Disk:
     def read_sectors(self, lba: int, count: int) -> bytes:
         self._check(lba, count)
         self._charge(count)
+        if self.faults.decide("disk.read",
+                              f"lba={lba} count={count}") is not None:
+            self.read_errors += 1
+            raise DeviceFault("disk.read", "io_error",
+                              f"sectors [{lba}, {lba + count})")
         return b"".join(
             self._sectors.get(sector, bytes(SECTOR_SIZE))
             for sector in range(lba, lba + count))
@@ -48,15 +64,33 @@ class Disk:
         count = len(data) // SECTOR_SIZE
         self._check(lba, count)
         self._charge(count)
-        for i in range(count):
+        kind = self.faults.decide("disk.write",
+                                  f"lba={lba} count={count}")
+        written = count
+        if kind == "io_error":
+            written = 0
+        elif kind == "torn_write":
+            written = count // 2
+        for i in range(written):
             self._sectors[lba + i] = bytes(
                 data[i * SECTOR_SIZE:(i + 1) * SECTOR_SIZE])
+        if kind is not None:
+            self.write_errors += 1
+            raise DeviceFault("disk.write", kind,
+                              f"sectors [{lba}, {lba + count}) "
+                              f"persisted={written}")
 
     # -- DMA I/O ---------------------------------------------------------------
 
     def dma_read_into(self, dma: DMAEngine, paddr: int, lba: int,
                       count: int) -> None:
-        """Disk -> memory transfer via DMA (IOMMU-checked)."""
+        """Disk -> memory transfer via DMA (IOMMU-checked).
+
+        The IOMMU authorizes the destination *before* any sectors are
+        read or cycles charged: a denied transfer fails without
+        perturbing the cycle clock.
+        """
+        dma.authorize(paddr, count * SECTOR_SIZE, write=True)
         data = self.read_sectors(lba, count)
         dma.write_memory(paddr, data)
 

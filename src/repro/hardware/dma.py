@@ -3,10 +3,16 @@
 Every frame touched by a transfer is validated against the IOMMU first, so
 a transfer that overlaps a single protected frame fails atomically (nothing
 is copied). This is the mechanism that makes the paper's DMA attack fail.
+
+The engine also consults the machine's fault plan (site ``dma.transfer``):
+an injected ``abort`` fails an *authorized* transfer atomically after the
+copy cost is charged, modelling a bus-level abort.
 """
 
 from __future__ import annotations
 
+from repro.errors import DeviceFault
+from repro.faults import NO_FAULTS, FaultPlan
 from repro.hardware.clock import CycleClock
 from repro.hardware.iommu import IOMMU
 from repro.hardware.memory import PAGE_SIZE, PhysicalMemory
@@ -15,28 +21,46 @@ from repro.hardware.memory import PAGE_SIZE, PhysicalMemory
 class DMAEngine:
     """Validated physical-memory copy engine shared by all devices."""
 
-    def __init__(self, phys: PhysicalMemory, iommu: IOMMU, clock: CycleClock):
+    def __init__(self, phys: PhysicalMemory, iommu: IOMMU, clock: CycleClock,
+                 faults: FaultPlan | None = None):
         self.phys = phys
         self.iommu = iommu
         self.clock = clock
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.aborts = 0
 
     def read_memory(self, paddr: int, length: int) -> bytes:
         """Device reads ``length`` bytes out of physical memory."""
-        self._check(paddr, length, write=False)
+        self.authorize(paddr, length, write=False)
         self._charge(length)
+        self._maybe_abort(paddr, length)
         return self.phys.read(paddr, length)
 
     def write_memory(self, paddr: int, data: bytes) -> None:
         """Device writes ``data`` into physical memory."""
-        self._check(paddr, len(data), write=True)
+        self.authorize(paddr, len(data), write=True)
         self._charge(len(data))
+        self._maybe_abort(paddr, len(data))
         self.phys.write(paddr, data)
 
-    def _check(self, paddr: int, length: int, *, write: bool) -> None:
+    def authorize(self, paddr: int, length: int, *, write: bool) -> None:
+        """IOMMU-validate a prospective transfer without performing it.
+
+        Devices call this before doing any work (or charging any cycles)
+        for the transfer, so a denied DMA attack is rejected without
+        observable side effects on the cycle clock.
+        """
         first = paddr // PAGE_SIZE
         last = (paddr + max(length, 1) - 1) // PAGE_SIZE
         for frame in range(first, last + 1):
             self.iommu.check_dma(frame, write=write)
+
+    def _maybe_abort(self, paddr: int, length: int) -> None:
+        if self.faults.decide("dma.transfer",
+                              f"paddr={paddr:#x} len={length}") is not None:
+            self.aborts += 1
+            raise DeviceFault("dma.transfer", "abort",
+                              f"{length} bytes at {paddr:#x}")
 
     def _charge(self, length: int) -> None:
         self.clock.charge("copy_per_word", (length + 7) // 8)

@@ -7,12 +7,21 @@ fixed per-packet cost (driver + DMA ring work), and the peer is any object
 with a ``deliver(payload)`` method -- usually a lightweight traffic
 generator standing in for the client machine (whose own compute time the
 paper does not measure).
+
+Link faults (sites ``nic.tx``/``nic.rx``) model a lossy wire under a
+reliable transport: a dropped or delayed frame is retransmitted and a
+duplicated frame is discarded by the receiver, so the payload always
+reaches the peer exactly once -- but each fault charges the extra wire
+time the recovery costs and increments an observable counter. This keeps
+injected network faults a pure (accounted, logged) degradation: stream
+contents are never perturbed.
 """
 
 from __future__ import annotations
 
 from typing import Protocol
 
+from repro.faults import NO_FAULTS, FaultPlan
 from repro.hardware.clock import CycleClock
 
 #: Maximum transmission unit; payloads are segmented into MTU-sized packets
@@ -28,13 +37,19 @@ class Endpoint(Protocol):
 class NIC:
     """One network interface with an rx queue and an attached peer."""
 
-    def __init__(self, clock: CycleClock, name: str = "nic0"):
+    def __init__(self, clock: CycleClock, name: str = "nic0",
+                 faults: FaultPlan | None = None):
         self.clock = clock
         self.name = name
+        self.faults = faults if faults is not None else NO_FAULTS
         self.peer: Endpoint | None = None
         self.rx_queue: list[bytes] = []
         self.tx_bytes = 0
         self.rx_bytes = 0
+        self.tx_dropped = 0
+        self.tx_duplicated = 0
+        self.tx_delayed = 0
+        self.rx_dropped = 0
 
     def attach_peer(self, peer: Endpoint) -> None:
         self.peer = peer
@@ -44,6 +59,24 @@ class NIC:
         if self.peer is None:
             raise RuntimeError(f"{self.name}: no peer attached")
         packets = max(1, -(-len(payload) // MTU))
+        kind = self.faults.decide("nic.tx",
+                                  f"{self.name} {len(payload)}B")
+        if kind == "drop":
+            # first transmission lost on the wire: its time is wasted,
+            # the transport retransmits (charged below)
+            self.tx_dropped += 1
+            self.clock.charge("nic_per_packet", packets)
+            self.clock.charge("nic_per_byte", len(payload))
+        elif kind == "dup":
+            # frame duplicated in flight; receiver discards the copy but
+            # the wire carried it twice
+            self.tx_duplicated += 1
+            self.clock.charge("nic_per_packet", packets)
+            self.clock.charge("nic_per_byte", len(payload))
+        elif kind == "delay":
+            # delivery stalls for an ack-timeout's worth of packet time
+            self.tx_delayed += 1
+            self.clock.charge("nic_per_packet", 2 * packets)
         self.clock.charge("nic_per_packet", packets)
         self.clock.charge("nic_per_byte", len(payload))
         self.tx_bytes += len(payload)
@@ -52,6 +85,12 @@ class NIC:
     def deliver(self, payload: bytes) -> None:
         """Called by the wire when a payload arrives for this NIC."""
         packets = max(1, -(-len(payload) // MTU))
+        if self.faults.decide("nic.rx",
+                              f"{self.name} {len(payload)}B") is not None:
+            # inbound frame dropped at the ring: the far end retransmits
+            self.rx_dropped += 1
+            self.clock.charge("nic_per_packet", packets)
+            self.clock.charge("nic_per_byte", len(payload))
         self.clock.charge("nic_per_packet", packets)
         self.clock.charge("nic_per_byte", len(payload))
         self.rx_bytes += len(payload)
@@ -66,3 +105,10 @@ class NIC:
     @property
     def has_rx(self) -> bool:
         return bool(self.rx_queue)
+
+    @property
+    def fault_counters(self) -> dict[str, int]:
+        return {"tx_dropped": self.tx_dropped,
+                "tx_duplicated": self.tx_duplicated,
+                "tx_delayed": self.tx_delayed,
+                "rx_dropped": self.rx_dropped}

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults import FaultPlan
 from repro.hardware.clock import CostModel, CycleClock
 from repro.hardware.cpu import CPU
 from repro.hardware.devices import Console
@@ -34,6 +35,9 @@ class MachineConfig:
     disk_sectors: int = 65536          # 32 MiB disk
     serial: bytes = b"vg-machine-0"
     costs: CostModel | None = None
+    #: Deterministic fault-injection plan consulted by every device and
+    #: by the kernel (None = a fresh inert plan: nothing injected).
+    faults: FaultPlan | None = None
 
 
 class Machine:
@@ -41,6 +45,9 @@ class Machine:
 
     def __init__(self, config: MachineConfig | None = None):
         self.config = config or MachineConfig()
+        # Every machine owns a fault plan (inert unless configured) so
+        # kernel code can log handled failures even in fault-free runs.
+        self.faults = self.config.faults or FaultPlan()
         self.clock = CycleClock(self.config.costs)
         self.phys = PhysicalMemory(self.config.memory_frames)
         self.cpu = CPU()
@@ -49,12 +56,19 @@ class Machine:
         self.ports = IOPortSpace(self.clock)
         self.iommu = IOMMU(self.clock)
         self.iommu.attach_ports(self.ports)
-        self.dma = DMAEngine(self.phys, self.iommu, self.clock)
+        self.dma = DMAEngine(self.phys, self.iommu, self.clock,
+                             faults=self.faults)
         self.interrupts = InterruptController(self.clock)
-        self.disk = Disk(self.config.disk_sectors, self.clock)
-        self.nic = NIC(self.clock)
+        self.disk = Disk(self.config.disk_sectors, self.clock,
+                         faults=self.faults)
+        self.nic = NIC(self.clock, faults=self.faults)
         self.tpm = TPM(self.clock, serial=self.config.serial)
         self.console = Console()
+
+    @property
+    def fault_log(self):
+        """The machine's structured fault log (see :mod:`repro.faults`)."""
+        return self.faults.log
 
     @property
     def memory_bytes(self) -> int:

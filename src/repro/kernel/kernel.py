@@ -32,6 +32,7 @@ from repro.kernel.proc import (Process, Program, SyscallRequest, Thread,
                                ThreadState)
 from repro.kernel.signals import SignalSubsystem
 from repro.kernel.simplefs import SimpleFS
+from repro.kernel.swapstore import GhostSwapStore
 from repro.kernel.syscalls import dispatch as syscall_dispatch
 from repro.kernel.syscalls.table import ExecImage, ProcessExited
 from repro.kernel.vfs import VFS
@@ -147,6 +148,20 @@ class Scheduler:
                     thread.proc,
                     stop.value if isinstance(stop.value, int) else 0)
                 return
+            except (SyscallError, SecurityViolation) as exc:
+                # A defined fault escaped the user program -- e.g. an
+                # injected transient ENOMEM raised straight out of an
+                # SVA instruction such as allocgm, which (unlike a
+                # syscall) is a direct call and is not translated by
+                # the dispatcher.  The hardware analogue is a fatal
+                # trap: the process dies; the machine and every other
+                # process keep running.
+                kernel.user_faults += 1
+                kernel.machine.faults.log.note(
+                    "kernel.user_fault", type(exc).__name__,
+                    f"pid {thread.proc.pid}: {exc}")
+                kernel.terminate_process(thread.proc, 128 + 11)
+                return
             if not isinstance(request, SyscallRequest):
                 raise KernelError(
                     f"user program yielded {request!r}, expected a "
@@ -180,6 +195,13 @@ class Kernel:
         self.signals = SignalSubsystem(self)
         self.scheduler = Scheduler(self)
         self.loader = ModuleLoader(self)
+        self.swapper = GhostSwapStore(self)
+        #: fd teardown failures survived during process exit (see
+        #: terminate_process); also noted in the machine's fault log.
+        self.close_failures = 0
+        #: processes killed by a defined fault escaping their program
+        #: (Scheduler._run_slice); each is noted in the fault log.
+        self.user_faults = 0
 
         self.processes: dict[int, Process] = {}
         self.threads: dict[int, Thread] = {}
@@ -253,15 +275,18 @@ class Kernel:
         self._add_stack_region(proc)
         self.processes[pid] = proc
 
-        thread = self._create_thread(proc)
+        thread = None
         try:
+            thread = self._create_thread(proc)
             proc.loaded = self.vm.validate_exec(pid, exe, entry)
-        except SecurityViolation:
-            # refused at startup: unwind the half-created process
+        except (SecurityViolation, SyscallError):
+            # refused at startup (or transient ENOMEM while building the
+            # thread): unwind the half-created process
             self.vmm.destroy_address_space(proc.aspace)
-            self.vm.retire_thread(thread.tid)
             self.processes.pop(pid, None)
-            self.threads.pop(thread.tid, None)
+            if thread is not None:
+                self.vm.retire_thread(thread.tid)
+                self.threads.pop(thread.tid, None)
             raise
         thread.uregs.rip = entry
         thread.uregs.set("rsp", USER_STACK_TOP)
@@ -523,11 +548,21 @@ class Kernel:
             return
         proc.exit_status = status
         for fd in list(proc.fds):
+            from repro.kernel.syscalls.file import sys_close
             try:
-                from repro.kernel.syscalls.file import sys_close
                 sys_close(self, proc.threads[0], fd)
-            except SyscallError:
-                pass
+            except SyscallError as exc:
+                # A failed close must not leak the descriptor: log the
+                # failure (observable in the fault log) and release the
+                # fd-backed resource anyway -- the process is dying.
+                self.close_failures += 1
+                self.machine.faults.log.note(
+                    "kernel.close", "teardown_failure",
+                    f"pid {proc.pid} fd {fd}: {exc}")
+                open_file = proc.fds.pop(fd, None)
+                if open_file is not None:
+                    open_file.refcount -= 1
+        self.swapper.drop_process(proc.pid)
         self.vmm.destroy_address_space(proc.aspace)
         self.vm.process_exit(proc.pid)
         for thread in proc.threads:

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 from repro.core.layout import (KERNEL_HEAP_START, KERNEL_STACK_START,
                                USER_END, USER_START, page_of)
 from repro.errors import KernelError, SyscallError
+from repro.faults import NO_FAULTS, FaultPlan
 from repro.hardware.memory import PAGE_SIZE
 
 if TYPE_CHECKING:
@@ -29,19 +30,40 @@ MAP_FILE = 2
 
 
 class FrameAllocator:
-    """Free-list allocator over physical frames (frame 0 reserved)."""
+    """Free-list allocator over physical frames (frame 0 reserved).
 
-    def __init__(self, num_frames: int):
+    The fault plan (site ``kernel.frame_alloc``) can make any single
+    allocation report *transient* exhaustion -- an errno the caller must
+    handle -- while genuine exhaustion of installed RAM stays a
+    simulated kernel panic (:class:`~repro.errors.KernelError`).
+    """
+
+    def __init__(self, num_frames: int,
+                 faults: FaultPlan | None = None):
         self._free = list(range(num_frames - 1, 0, -1))
         self.total = num_frames - 1
+        self.faults = faults if faults is not None else NO_FAULTS
 
     def alloc(self) -> int:
+        if self.faults.decide("kernel.frame_alloc") is not None:
+            raise SyscallError("ENOMEM",
+                               "transient frame exhaustion (injected)")
         if not self._free:
             raise KernelError("out of physical memory")
         return self._free.pop()
 
     def alloc_many(self, count: int) -> list[int]:
-        return [self.alloc() for _ in range(count)]
+        frames: list[int] = []
+        try:
+            for _ in range(count):
+                frames.append(self.alloc())
+        except SyscallError:
+            # transient failure mid-batch: return what was taken so a
+            # partially satisfied request never leaks frames
+            for frame in frames:
+                self.free(frame)
+            raise
+        return frames
 
     def free(self, frame: int) -> None:
         self._free.append(frame)
@@ -101,7 +123,8 @@ class VirtualMemoryManager:
         self.kernel = kernel
         self.ctx = kernel.ctx
         self.vm = kernel.vm
-        self.frames = FrameAllocator(kernel.machine.phys.num_frames)
+        self.frames = FrameAllocator(kernel.machine.phys.num_frames,
+                                     faults=kernel.machine.faults)
         self.kernel_heap_cursor = KERNEL_HEAP_START
         self.kernel_stack_cursor = KERNEL_STACK_START
         self.page_faults = 0
@@ -225,7 +248,12 @@ class VirtualMemoryManager:
             raise SyscallError("EFAULT",
                                f"write to read-only page {vaddr:#x}")
 
-        frame = self.frames.alloc()
+        try:
+            frame = self.frames.alloc()
+        except SyscallError:
+            # transient ENOMEM: leave the trap balanced, caller sees errno
+            self.ctx.clock.charge("trap_exit")
+            raise
         self.kernel.machine.phys.zero_frame(frame)
         self.ctx.clock.charge("zero_page")
         if region is not None and region.kind == MAP_FILE and region.vnode:
@@ -257,18 +285,24 @@ class VirtualMemoryManager:
         child.brk = parent.brk
         child.brk_start = parent.brk_start
         phys = self.kernel.machine.phys
-        for page, parent_frame in parent.resident.items():
-            frame = self.frames.alloc()
-            phys.write(frame * PAGE_SIZE,
-                       phys.read(parent_frame * PAGE_SIZE, PAGE_SIZE))
-            self.ctx.clock.charge("copy_per_word", PAGE_SIZE // 8)
-            region = parent.region_at(page)
-            writable = True if region is None else bool(region.prot
-                                                        & PROT_WRITE)
-            self.vm.mmu_map_page(child.root, page, frame,
-                                 writable=writable, user=True)
-            child.resident[page] = frame
-            self.ctx.work(mem=26, ops=14)
+        try:
+            for page, parent_frame in parent.resident.items():
+                frame = self.frames.alloc()
+                phys.write(frame * PAGE_SIZE,
+                           phys.read(parent_frame * PAGE_SIZE, PAGE_SIZE))
+                self.ctx.clock.charge("copy_per_word", PAGE_SIZE // 8)
+                region = parent.region_at(page)
+                writable = True if region is None else bool(region.prot
+                                                            & PROT_WRITE)
+                self.vm.mmu_map_page(child.root, page, frame,
+                                     writable=writable, user=True)
+                child.resident[page] = frame
+                self.ctx.work(mem=26, ops=14)
+        except SyscallError:
+            # transient ENOMEM mid-copy: unwind the half-built child so
+            # a failed fork never leaks frames or mappings
+            self.destroy_address_space(child)
+            raise
         self.ctx.work(mem=120, ops=90, rets=6)
         return child
 

@@ -86,10 +86,23 @@ class Connection:
 
 
 class _Wire:
-    """Terminates transmitted frames (the physical link)."""
+    """Terminates transmitted frames (the physical link).
+
+    Stream payloads are handed to the :class:`RemotePeer` synchronously
+    by the connection; the frame copies that end here used to be
+    discarded without a trace. They are now counted as dead letters
+    (surfaced through :attr:`NetworkStack.stats`) so the volume of
+    traffic terminating at the wire -- including anything with no
+    receiver -- is observable rather than silently vanishing.
+    """
+
+    def __init__(self) -> None:
+        self.dead_letters = 0
+        self.dead_letter_bytes = 0
 
     def deliver(self, payload: bytes) -> None:
-        pass
+        self.dead_letters += 1
+        self.dead_letter_bytes += len(payload)
 
 
 class _LoopbackPeer:
@@ -137,16 +150,32 @@ class NetworkStack:
     def __init__(self, kernel: "Kernel"):
         self.kernel = kernel
         self.nic = kernel.machine.nic
+        self.wire: _Wire | None = None
         if self.nic.peer is None:
             # default wire: per-connection peer objects model the far
             # machines; the NIC itself just needs somewhere to put frames
-            self.nic.attach_peer(_Wire())
+            self.wire = _Wire()
+            self.nic.attach_peer(self.wire)
         self._listeners: dict[int, ListenSocket] = {}
         #: (host, port) -> factory returning a RemotePeer, for outbound
         #: connections to simulated remote services.
         self._remote_services: dict[tuple[str, int],
                                     Callable[[], RemotePeer]] = {}
         self.connections_accepted = 0
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Observable stack counters, including dropped/discarded traffic."""
+        stats = {
+            "connections_accepted": self.connections_accepted,
+            "tx_bytes": self.nic.tx_bytes,
+            "rx_bytes": self.nic.rx_bytes,
+            "dead_letters": self.wire.dead_letters if self.wire else 0,
+            "dead_letter_bytes": (self.wire.dead_letter_bytes
+                                  if self.wire else 0),
+        }
+        stats.update(self.nic.fault_counters)
+        return stats
 
     # -- server side -----------------------------------------------------------
 

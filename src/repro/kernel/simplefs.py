@@ -20,7 +20,7 @@ from __future__ import annotations
 import struct
 from typing import TYPE_CHECKING
 
-from repro.errors import KernelError, SyscallError
+from repro.errors import DeviceFault, KernelError, SyscallError
 from repro.hardware.disk import Disk, SECTOR_SIZE
 from repro.kernel.vfs import Vnode, VnodeType
 
@@ -49,16 +49,26 @@ CACHE_BLOCKS = 4096
 
 
 class BufferCache:
-    """Write-back block cache with FIFO eviction."""
+    """Write-back block cache with FIFO eviction.
+
+    Device-level failures (:class:`~repro.errors.DeviceFault`, injected
+    or otherwise) are translated to EIO here -- the kernel boundary for
+    disk errors -- and never propagate raw. A failed writeback keeps the
+    block cached and dirty so a later flush can retry it. The fault site
+    ``fs.cache`` additionally models transient buffer exhaustion
+    (ENOMEM) on cache fills.
+    """
 
     def __init__(self, disk: Disk, ctx: "KernelContext"):
         self.disk = disk
         self.ctx = ctx
+        self.faults = ctx.machine.faults
         self._blocks: dict[int, bytearray] = {}
         self._dirty: set[int] = set()
         self._order: list[int] = []
         self.hits = 0
         self.misses = 0
+        self.io_errors = 0
 
     def get(self, block_number: int) -> bytearray:
         cached = self._blocks.get(block_number)
@@ -67,9 +77,19 @@ class BufferCache:
             self.ctx.work(mem=3, ops=5)
             return cached
         self.misses += 1
+        if self.faults.decide("fs.cache",
+                              f"fill block {block_number}") is not None:
+            raise SyscallError("ENOMEM",
+                               "buffer cache exhausted (injected)")
         self._evict_if_full()
-        data = bytearray(self.disk.read_sectors(
-            block_number * _SECTORS_PER_BLOCK, _SECTORS_PER_BLOCK))
+        try:
+            data = bytearray(self.disk.read_sectors(
+                block_number * _SECTORS_PER_BLOCK, _SECTORS_PER_BLOCK))
+        except DeviceFault as exc:
+            self.io_errors += 1
+            raise SyscallError(
+                "EIO", f"read of block {block_number} failed "
+                f"({exc})") from exc
         self._blocks[block_number] = data
         self._order.append(block_number)
         self.ctx.work(mem=10, ops=14)
@@ -82,6 +102,10 @@ class BufferCache:
         if cached is not None:
             cached[:] = bytes(BLOCK_SIZE)
             return cached
+        if self.faults.decide("fs.cache",
+                              f"create block {block_number}") is not None:
+            raise SyscallError("ENOMEM",
+                               "buffer cache exhausted (injected)")
         self._evict_if_full()
         data = bytearray(BLOCK_SIZE)
         self._blocks[block_number] = data
@@ -96,16 +120,32 @@ class BufferCache:
 
     def flush(self) -> None:
         for block_number in sorted(self._dirty):
+            self._writeback(block_number)
+            self._dirty.discard(block_number)
+
+    def _writeback(self, block_number: int) -> None:
+        try:
             self.disk.write_sectors(block_number * _SECTORS_PER_BLOCK,
                                     bytes(self._blocks[block_number]))
-        self._dirty.clear()
+        except DeviceFault as exc:
+            # the block stays cached + dirty: fsync retries will rewrite
+            # it whole, healing any torn prefix on the platter
+            self.io_errors += 1
+            raise SyscallError(
+                "EIO", f"writeback of block {block_number} failed "
+                f"({exc})") from exc
 
     def _evict_if_full(self) -> None:
         while len(self._blocks) >= CACHE_BLOCKS:
             victim = self._order.pop(0)
             if victim in self._dirty:
-                self.disk.write_sectors(victim * _SECTORS_PER_BLOCK,
-                                        bytes(self._blocks[victim]))
+                try:
+                    self._writeback(victim)
+                except SyscallError:
+                    # cannot evict a dirty block we failed to persist:
+                    # keep it (cached + dirty) and surface the error
+                    self._order.append(victim)
+                    raise
                 self._dirty.discard(victim)
             del self._blocks[victim]
 
@@ -228,6 +268,9 @@ class SimpleFS:
         self.ctx.work(mem=8, ops=10)
 
     def alloc_inode(self, itype: int) -> _Inode:
+        if self.cache.faults.decide("fs.alloc", "inode") is not None:
+            raise SyscallError("ENOSPC",
+                               "inode allocation failed (injected)")
         for step in range(self.num_inodes):
             number = (self._inode_hint + step) % self.num_inodes
             inode = self.read_inode(number)
@@ -258,6 +301,9 @@ class SimpleFS:
     # -- block allocation ------------------------------------------------------------
 
     def alloc_block(self) -> int:
+        if self.cache.faults.decide("fs.alloc", "block") is not None:
+            raise SyscallError("ENOSPC",
+                               "block allocation failed (injected)")
         span = self.num_blocks - self.data_start
         for step in range(span):
             block_number = self.data_start + (

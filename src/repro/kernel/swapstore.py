@@ -1,0 +1,96 @@
+"""OS-side storage for swapped-out ghost-page blobs (paper section 3.3).
+
+When the OS reclaims a ghost frame, the SVA VM hands it an opaque
+encrypted+MACed blob (:class:`~repro.core.swap.SwapService`); *where*
+that blob lives until swap-in is purely the OS's business -- and under
+the paper's threat model the OS may lose it, corrupt it, or simply
+refuse to give it back. This store models that OS-side custody,
+including the hostile/faulty cases (fault site ``swap.store``):
+
+* ``lost`` -- the blob vanishes from the store. Swap-in then fails with
+  EIO: the paper's "OS denies service" outcome. The application loses
+  availability of that page, never integrity or confidentiality.
+* ``corrupt`` -- the stored blob is bit-flipped. Swap-in fails closed
+  with a :class:`~repro.errors.SecurityViolation` from the VM's MAC
+  check; the page is never restored with wrong contents.
+
+A transient kernel failure *during* swap-in (e.g. injected frame
+exhaustion) leaves the blob in the store so the operation can be
+retried.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SecurityViolation, SyscallError
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.proc import Process
+
+
+class GhostSwapStore:
+    """Kernel bookkeeping of swapped ghost pages, keyed by (pid, vaddr)."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self._blobs: dict[tuple[int, int], bytes] = {}
+        self.swapped_out = 0
+        self.swapped_in = 0
+        self.lost = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def holds(self, pid: int, vaddr: int) -> bool:
+        return (pid, vaddr) in self._blobs
+
+    def swap_out(self, proc: "Process", vaddr: int) -> None:
+        """Reclaim one ghost frame; keep the protected blob in custody."""
+        blob = self.kernel.vm.swap_out_ghost(proc.pid, proc.aspace.root,
+                                             vaddr)
+        kind = self.kernel.machine.faults.decide(
+            "swap.store", f"pid={proc.pid} vaddr={vaddr:#x}")
+        if kind == "lost":
+            # the OS misplaces the blob; swap-in will deny service
+            self.lost += 1
+        else:
+            if kind == "corrupt":
+                blob = blob[:-1] + bytes([blob[-1] ^ 0x01])
+            self._blobs[(proc.pid, vaddr)] = blob
+        self.swapped_out += 1
+        self.kernel.vmm.pages_swapped_out += 1
+        self.kernel.ctx.work(mem=40, ops=30, rets=2)
+
+    def swap_in(self, proc: "Process", vaddr: int) -> None:
+        """Return a page to the application, or fail in a defined way.
+
+        Raises ``SyscallError(EIO)`` when the blob was lost (denial of
+        service) and ``SecurityViolation`` when the blob fails
+        verification; a transient error from the VM (frame exhaustion)
+        propagates with the blob retained for retry.
+        """
+        key = (proc.pid, vaddr)
+        blob = self._blobs.get(key)
+        if blob is None:
+            raise SyscallError(
+                "EIO", f"swap blob for ghost page {vaddr:#x} "
+                f"(pid {proc.pid}) is gone: OS denied service")
+        try:
+            self.kernel.vm.swap_in_ghost(proc.pid, proc.aspace.root,
+                                         vaddr, blob)
+        except SecurityViolation:
+            # tampered blob is useless: discard it and fail closed
+            self.rejected += 1
+            del self._blobs[key]
+            raise
+        del self._blobs[key]
+        self.swapped_in += 1
+        self.kernel.ctx.work(mem=40, ops=30, rets=2)
+
+    def drop_process(self, pid: int) -> None:
+        """Process exit: its swapped blobs are dead weight."""
+        for key in [k for k in self._blobs if k[0] == pid]:
+            del self._blobs[key]

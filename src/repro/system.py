@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.compiler.interp import ExecutionLimits
 from repro.core.config import VGConfig
 from repro.core.keymgmt import SignedExecutable
+from repro.faults import FaultLog, FaultPlan, plan_from_env
 from repro.hardware.clock import CostModel, cycles_to_seconds, cycles_to_us
 from repro.hardware.platform import Machine, MachineConfig
 from repro.kernel.kernel import Kernel
@@ -38,7 +39,8 @@ class System:
                memory_mb: int = 64, disk_mb: int = 64,
                costs: CostModel | None = None,
                serial: bytes = b"vg-machine-0",
-               interp_limits: ExecutionLimits | None = None) -> "System":
+               interp_limits: ExecutionLimits | None = None,
+               fault_plan: FaultPlan | None = None) -> "System":
         """Assemble and boot a system.
 
         ``interp_limits`` overrides the default
@@ -46,15 +48,32 @@ class System:
         call depth) for every kernel module loaded afterwards; a
         per-module ``loader.load(..., limits=...)`` still takes
         precedence.
+
+        ``fault_plan`` threads a deterministic
+        :class:`~repro.faults.FaultPlan` through every device and kernel
+        injection site. When omitted, the ``REPRO_FAULT_SEED``
+        environment variable (with optional ``REPRO_FAULT_RATE`` /
+        ``REPRO_FAULT_SITES``) builds one; with neither, nothing is ever
+        injected and the simulation is bit-identical to a build without
+        fault injection. Injection is suspended during boot so every
+        system comes up identically; the plan is armed before this
+        returns.
         """
         config = config or VGConfig.virtual_ghost()
+        if fault_plan is None:
+            fault_plan = plan_from_env()
         machine = Machine(MachineConfig(
             memory_frames=memory_mb * 256,
             disk_sectors=disk_mb * 2048,
             serial=serial,
-            costs=costs))
-        kernel = Kernel(machine, config, interp_limits=interp_limits)
-        kernel.boot()
+            costs=costs,
+            faults=fault_plan))
+        machine.faults.disarm()
+        try:
+            kernel = Kernel(machine, config, interp_limits=interp_limits)
+            kernel.boot()
+        finally:
+            machine.faults.arm()
         return cls(machine=machine, kernel=kernel, config=config)
 
     # -- application management ---------------------------------------------------
@@ -117,3 +136,13 @@ class System:
     @property
     def console(self):
         return self.machine.console
+
+    # -- fault injection ---------------------------------------------------------------
+
+    @property
+    def fault_plan(self) -> FaultPlan:
+        return self.machine.faults
+
+    @property
+    def fault_log(self) -> FaultLog:
+        return self.machine.faults.log

@@ -1,0 +1,371 @@
+"""Regression tests for the error paths fault injection exposed.
+
+Each test pins one of the fixes that ride along with the injection
+subsystem: descriptor release on failed close, IOMMU authorization
+ordering, dead-letter accounting, the scoped Iago subversion, and the
+kernel-boundary translation of injected device faults into errnos.
+"""
+
+import pytest
+
+from repro.attacks.iago import run_random_iago
+from repro.core.config import VGConfig
+from repro.core.layout import page_of
+from repro.errors import IOMMUFault, SecurityViolation, SyscallError
+from repro.faults import FaultPlan, FaultSpec
+from repro.hardware.memory import PAGE_SIZE
+from repro.system import System
+from repro.userland.libc import O_CREAT, O_RDONLY, O_WRONLY
+
+from tests.conftest import ScriptProgram
+
+
+def _system(plan=None, **kwargs):
+    kwargs.setdefault("memory_mb", 32)
+    return System.create(VGConfig.virtual_ghost(), fault_plan=plan, **kwargs)
+
+
+def _paused_script(system, body, path="/bin/paused"):
+    """Spawn ``body``; run until it sets ``program.ready``."""
+    program = ScriptProgram(body)
+    system.install(path, program)
+    proc = system.spawn(path)
+    system.run(until=lambda: getattr(program, "ready", False),
+               max_slices=200_000)
+    assert getattr(program, "ready", False)
+    return proc, program
+
+
+# ---------------------------------------------------------------------------
+# satellite: terminate_process must not swallow close failures
+# ---------------------------------------------------------------------------
+
+def test_terminate_releases_fd_and_logs_when_close_fails(monkeypatch):
+    system = _system()
+    kernel = system.kernel
+
+    def body(env, program):
+        fd = yield from env.sys_open("/victim.dat", O_WRONLY | O_CREAT)
+        assert fd >= 0
+        program.ready = True
+        while True:
+            yield from env.sys_sched_yield()
+
+    proc, program = _paused_script(system, body)
+    assert proc.fds            # the descriptor is open
+    fds_count = len(proc.fds)
+
+    import repro.kernel.syscalls.file as file_syscalls
+
+    def failing_close(kernel, thread, fd):
+        raise SyscallError("EIO", "injected close failure")
+
+    monkeypatch.setattr(file_syscalls, "sys_close", failing_close)
+    kernel.terminate_process(proc, 1)
+
+    assert proc.fds == {}                       # nothing leaked
+    assert kernel.close_failures == fds_count
+    notes = [r for r in system.fault_log.records
+             if r.site == "kernel.close" and not r.injected]
+    assert notes and f"pid {proc.pid}" in notes[0].detail
+
+
+def test_terminate_close_failure_still_drops_refcount(monkeypatch):
+    system = _system()
+    kernel = system.kernel
+
+    def body(env, program):
+        fd = yield from env.sys_open("/victim.dat", O_WRONLY | O_CREAT)
+        assert fd >= 0
+        program.fd = fd
+        program.ready = True
+        while True:
+            yield from env.sys_sched_yield()
+
+    proc, program = _paused_script(system, body)
+    open_file = proc.fds[program.fd]
+    refcount_before = open_file.refcount
+
+    import repro.kernel.syscalls.file as file_syscalls
+    monkeypatch.setattr(
+        file_syscalls, "sys_close",
+        lambda kernel, thread, fd: (_ for _ in ()).throw(
+            SyscallError("EIO", "injected")))
+    kernel.terminate_process(proc, 1)
+    assert open_file.refcount == refcount_before - 1
+
+
+# ---------------------------------------------------------------------------
+# satellite: DMA must be authorized before any transfer or charging
+# ---------------------------------------------------------------------------
+
+def test_denied_dma_read_into_leaves_clock_untouched():
+    system = _system()
+    machine = system.machine
+    frame = machine.phys.num_frames - 2
+    machine.iommu.deny_frame(frame)
+
+    cycles_before = machine.clock.cycles
+    with pytest.raises(IOMMUFault):
+        machine.disk.dma_read_into(machine.dma, frame * PAGE_SIZE,
+                                   lba=0, count=2)
+    assert machine.clock.cycles == cycles_before
+
+
+def test_authorized_dma_read_into_still_transfers():
+    system = _system()
+    machine = system.machine
+    frame = machine.phys.num_frames - 2
+    machine.disk.write_sectors(4, b"\xAB" * 1024)
+    machine.disk.dma_read_into(machine.dma, frame * PAGE_SIZE,
+                               lba=4, count=2)
+    assert machine.phys.read(frame * PAGE_SIZE, 1024) == b"\xAB" * 1024
+
+
+# ---------------------------------------------------------------------------
+# satellite: frames terminating at the wire are counted, not vanished
+# ---------------------------------------------------------------------------
+
+def test_wire_dead_letters_surface_in_stack_stats():
+    system = _system()
+    stats_before = system.kernel.net.stats
+    system.machine.nic.send(b"x" * 100)
+    system.machine.nic.send(b"y" * 60)
+    stats = system.kernel.net.stats
+    assert (stats["dead_letters"]
+            == stats_before["dead_letters"] + 2)
+    assert (stats["dead_letter_bytes"]
+            == stats_before["dead_letter_bytes"] + 160)
+    for key in ("tx_dropped", "tx_duplicated", "tx_delayed", "rx_dropped"):
+        assert key in stats
+
+
+# ---------------------------------------------------------------------------
+# satellite: the Iago /dev/random subversion is scoped to the attack
+# ---------------------------------------------------------------------------
+
+def test_random_iago_restores_the_device_hook():
+    system = _system()
+    device = system.kernel.devfs.random
+    saved = device.subversion
+    result = run_random_iago(system.kernel)
+    assert result.os_random_constant
+    assert device.subversion is saved
+    # the device produces real (non-constant) output again
+    assert device.read(0, 16) != bytes(16)
+
+
+def test_random_iago_restores_the_hook_even_on_error(monkeypatch):
+    system = _system()
+    device = system.kernel.devfs.random
+    saved = device.subversion
+    monkeypatch.setattr(system.kernel.vm, "sva_random",
+                        lambda n: (_ for _ in ()).throw(RuntimeError("boom")))
+    with pytest.raises(RuntimeError):
+        run_random_iago(system.kernel)
+    assert device.subversion is saved
+
+
+# ---------------------------------------------------------------------------
+# kernel-boundary translation of injected faults
+# ---------------------------------------------------------------------------
+
+def test_injected_writeback_failure_is_EIO_then_retries_clean():
+    plan = FaultPlan(b"eio", {"disk.write": FaultSpec(rate=1.0,
+                                                      max_faults=1)})
+    system = _system(plan)
+
+    def body(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        buf = heap.store(b"payload!" * 64)
+        fd = yield from env.sys_open("/f.dat", O_WRONLY | O_CREAT)
+        program.wrote = yield from env.sys_write(fd, buf, 512)
+        program.first_sync = yield from env.sys_fsync(fd)
+        program.second_sync = yield from env.sys_fsync(fd)
+        yield from env.sys_close(fd)
+        program.ready = True
+        return 0
+
+    proc, program = _paused_script(system, body)
+    from repro.kernel.syscalls import ERRNO
+    assert program.wrote == 512
+    assert program.first_sync == -ERRNO["EIO"]   # injected torn/failed write
+    assert program.second_sync == 0              # block stayed dirty; retried
+    assert system.machine.disk.write_errors == 1
+    assert system.kernel.fs.cache.io_errors == 1
+    # the retried block really reached the disk: read it back raw
+    data = system.read_file("/f.dat")
+    assert data[:512] == (b"payload!" * 64)
+
+
+def test_injected_frame_exhaustion_fails_fork_without_leaking():
+    plan = FaultPlan(b"nomem", {"kernel.frame_alloc": FaultSpec(rate=1.0)})
+    system = _system(plan)
+    plan.disarm()                       # spawn and setup run clean
+
+    def body(env, program):
+        program.ready = True
+        while not getattr(program, "go", False):
+            yield from env.sys_sched_yield()
+        program.fork_result = yield from env.sys_fork()
+        program.done = True
+        return 0
+
+    proc, program = _paused_script(system, body)
+    available_before = system.kernel.vmm.frames.available
+    plan.arm()
+    program.go = True
+    system.run(until=lambda: getattr(program, "done", False),
+               max_slices=200_000)
+    plan.disarm()
+
+    from repro.kernel.syscalls import ERRNO
+    assert program.fork_result == -ERRNO["ENOMEM"]
+    assert system.kernel.vmm.frames.available == available_before
+    assert plan.injected("kernel.frame_alloc") >= 1
+
+
+def test_injected_cache_exhaustion_is_ENOMEM_then_recovers():
+    plan = FaultPlan(b"cache", {"fs.cache": FaultSpec(rate=1.0,
+                                                      max_faults=1)})
+    system = _system(plan)
+
+    def body(env, program):
+        fd = yield from env.sys_open("/new.dat", O_WRONLY | O_CREAT)
+        program.first_open = fd
+        fd = yield from env.sys_open("/new.dat", O_WRONLY | O_CREAT)
+        program.second_open = fd
+        if fd >= 0:
+            yield from env.sys_close(fd)
+        program.ready = True
+        return 0
+
+    proc, program = _paused_script(system, body)
+    from repro.kernel.syscalls import ERRNO
+    assert program.first_open == -ERRNO["ENOMEM"]
+    assert program.second_open >= 0
+
+
+# ---------------------------------------------------------------------------
+# a defined fault escaping a user program kills the process, not the machine
+# ---------------------------------------------------------------------------
+
+def test_unhandled_fault_in_app_kills_process_not_machine():
+    system = _system()
+    kernel = system.kernel
+
+    def victim(env, program):
+        program.started = True
+        yield from env.sys_sched_yield()
+        # a direct (non-syscall) call raising a defined fault, like an
+        # injected ENOMEM out of allocgm reaching the app unhandled
+        raise SyscallError("ENOMEM", "transient frame exhaustion (injected)")
+
+    def bystander(env, program):
+        for _ in range(8):
+            yield from env.sys_sched_yield()
+        program.finished = True
+        return 0
+
+    vprog = ScriptProgram(victim)
+    bprog = ScriptProgram(bystander)
+    system.install("/bin/victim", vprog)
+    system.install("/bin/bystander", bprog)
+    vproc = system.spawn("/bin/victim")
+    system.spawn("/bin/bystander")
+
+    system.run(max_slices=200_000)      # must not raise
+
+    assert getattr(vprog, "started", False)
+    assert getattr(bprog, "finished", False)
+    assert vproc.pid not in kernel.processes
+    assert vproc.exit_status == 128 + 11
+    assert kernel.user_faults == 1
+    notes = [r for r in system.fault_log.records
+             if r.site == "kernel.user_fault" and not r.injected]
+    assert notes and f"pid {vproc.pid}" in notes[0].detail
+
+
+def test_unhandled_security_violation_in_app_is_contained_too():
+    system = _system()
+
+    def victim(env, program):
+        yield from env.sys_sched_yield()
+        raise SecurityViolation("ghost access denied")
+
+    program = ScriptProgram(victim)
+    system.install("/bin/victim", program)
+    proc = system.spawn("/bin/victim")
+    system.run(max_slices=200_000)
+    assert proc.exit_status == 128 + 11
+    assert system.kernel.user_faults == 1
+
+
+# ---------------------------------------------------------------------------
+# ghost swap under a hostile blob store
+# ---------------------------------------------------------------------------
+
+def _ghost_proc(system, pattern=0x5A):
+    def body(env, program):
+        addr = env.allocgm(1)
+        env.mem_write(addr, bytes([pattern]) * PAGE_SIZE)
+        program.addr = addr
+        program.ready = True
+        while True:
+            yield from env.sys_sched_yield()
+
+    proc, program = _paused_script(system, body, path="/bin/ghosty")
+    return proc, program.addr
+
+
+def test_lost_swap_blob_denies_service_with_EIO():
+    plan = FaultPlan(b"lost", {"swap.store": FaultSpec(rate=1.0,
+                                                       kinds=("lost",))})
+    system = _system(plan)
+    kernel = system.kernel
+    proc, addr = _ghost_proc(system)
+
+    kernel.swapper.swap_out(proc, addr)
+    assert kernel.swapper.lost == 1
+    pages_in_before = kernel.vm.swap.pages_in
+    with pytest.raises(SyscallError, match="EIO"):
+        kernel.swapper.swap_in(proc, addr)
+    assert kernel.vm.swap.pages_in == pages_in_before
+    assert kernel.vm.ghosts.frame_for(proc.pid, addr) is None
+
+
+def test_corrupt_swap_blob_fails_closed_with_security_violation():
+    plan = FaultPlan(b"corrupt", {"swap.store": FaultSpec(rate=1.0,
+                                                          kinds=("corrupt",))})
+    system = _system(plan)
+    kernel = system.kernel
+    proc, addr = _ghost_proc(system)
+
+    kernel.swapper.swap_out(proc, addr)
+    pages_in_before = kernel.vm.swap.pages_in
+    with pytest.raises(SecurityViolation):
+        kernel.swapper.swap_in(proc, addr)
+    assert kernel.swapper.rejected == 1
+    assert kernel.vm.swap.pages_in == pages_in_before
+    assert kernel.vm.ghosts.frame_for(proc.pid, addr) is None
+    # the tampered blob is discarded: a retry is denial, not a crash
+    with pytest.raises(SyscallError, match="EIO"):
+        kernel.swapper.swap_in(proc, addr)
+
+
+def test_forced_crypto_failure_surfaces_as_security_violation():
+    plan = FaultPlan(b"crypto", {"crypto.verify": FaultSpec(rate=1.0,
+                                                            max_faults=1)})
+    system = _system(plan)
+    swap = system.kernel.vm.swap
+    page = bytes([0x77]) * PAGE_SIZE
+    blob = swap.protect_page(9, 0x8000_0000, page)
+
+    pages_in_before = swap.pages_in
+    with pytest.raises(SecurityViolation):
+        swap.recover_page(9, 0x8000_0000, blob)
+    assert swap.pages_in == pages_in_before
+    # the blob itself was never bad: once the forced failure has fired
+    # (max_faults=1), the same blob verifies and restores bit-exact
+    assert swap.recover_page(9, 0x8000_0000, blob) == page
+    assert swap.pages_in == pages_in_before + 1

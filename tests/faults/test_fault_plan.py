@@ -1,0 +1,184 @@
+"""Unit tests for the deterministic fault-injection plan itself."""
+
+import pytest
+
+from repro.core.config import VGConfig
+from repro.faults import (NO_FAULTS, SITES, FaultLog, FaultPlan, FaultSpec,
+                          plan_from_env, soak_plan)
+from repro.system import System
+
+
+def _decisions(plan, site, n, detail=""):
+    return [plan.decide(site, detail) for _ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+def test_same_seed_same_decision_sequence():
+    spec = {"disk.write": FaultSpec(rate=0.3)}
+    a = FaultPlan(b"seed-1", spec)
+    b = FaultPlan(b"seed-1", spec)
+    assert _decisions(a, "disk.write", 200) == _decisions(b, "disk.write", 200)
+    assert a.log.to_lines() == b.log.to_lines()
+
+
+def test_different_seeds_diverge():
+    spec = {"disk.write": FaultSpec(rate=0.3)}
+    a = FaultPlan(b"seed-1", spec)
+    b = FaultPlan(b"seed-2", spec)
+    assert (_decisions(a, "disk.write", 200)
+            != _decisions(b, "disk.write", 200))
+
+
+def test_seed_normalization_accepts_str_bytes_int():
+    spec = {"disk.read": FaultSpec(rate=0.5)}
+    from_str = FaultPlan("abc", spec)
+    from_bytes = FaultPlan(b"abc", spec)
+    assert (_decisions(from_str, "disk.read", 50)
+            == _decisions(from_bytes, "disk.read", 50))
+    FaultPlan(7, spec)  # ints are accepted too
+
+
+def test_sites_draw_from_independent_streams():
+    """Consulting one site never shifts another site's rolls."""
+    specs = {"disk.read": FaultSpec(rate=0.4),
+             "nic.tx": FaultSpec(rate=0.4)}
+    interleaved = FaultPlan(b"s", specs)
+    alone = FaultPlan(b"s", specs)
+
+    got = []
+    for i in range(100):
+        got.append(interleaved.decide("nic.tx"))
+        # extra consultations of the *other* site between every roll
+        for _ in range(i % 3):
+            interleaved.decide("disk.read")
+    assert got == _decisions(alone, "nic.tx", 100)
+
+
+# ---------------------------------------------------------------------------
+# spec semantics
+# ---------------------------------------------------------------------------
+
+def test_rate_zero_never_fires_and_rate_one_always_fires():
+    plan = FaultPlan(b"s", {"disk.read": FaultSpec(rate=0.0),
+                            "dma.transfer": FaultSpec(rate=1.0)})
+    assert _decisions(plan, "disk.read", 50) == [None] * 50
+    assert _decisions(plan, "dma.transfer", 50) == ["abort"] * 50
+    assert plan.injected("disk.read") == 0
+    assert plan.injected("dma.transfer") == 50
+
+
+def test_kinds_come_from_site_registry():
+    plan = FaultPlan(b"s", {"nic.tx": FaultSpec(rate=1.0)})
+    kinds = set(_decisions(plan, "nic.tx", 100))
+    assert kinds <= set(SITES["nic.tx"])
+    assert len(kinds) > 1        # at rate 1.0 over 100 rolls, both appear
+
+
+def test_kinds_can_be_restricted():
+    plan = FaultPlan(b"s", {"swap.store": FaultSpec(rate=1.0,
+                                                    kinds=("lost",))})
+    assert _decisions(plan, "swap.store", 20) == ["lost"] * 20
+
+
+def test_max_faults_caps_injections():
+    plan = FaultPlan(b"s", {"disk.read": FaultSpec(rate=1.0, max_faults=3)})
+    got = _decisions(plan, "disk.read", 10)
+    assert got[:3] == ["io_error"] * 3
+    assert got[3:] == [None] * 7
+    assert plan.injected() == 3
+
+
+def test_skip_first_spares_early_consultations():
+    plan = FaultPlan(b"s", {"disk.read": FaultSpec(rate=1.0, skip_first=4)})
+    got = _decisions(plan, "disk.read", 6)
+    assert got == [None] * 4 + ["io_error"] * 2
+    assert plan.consultations("disk.read") == 6
+
+
+def test_unknown_site_rejected_at_construction():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        FaultPlan(b"s", {"floppy.read": FaultSpec(rate=0.1)})
+
+
+def test_unconfigured_site_is_free():
+    """decide() on a site without a spec neither counts nor logs."""
+    plan = FaultPlan(b"s", {"disk.read": FaultSpec(rate=1.0)})
+    assert plan.decide("nic.tx") is None
+    assert plan.consultations("nic.tx") == 0
+    assert len(plan.log) == 0
+
+
+def test_disarm_suspends_counting_and_injection():
+    plan = FaultPlan(b"s", {"disk.read": FaultSpec(rate=1.0)})
+    plan.disarm()
+    assert _decisions(plan, "disk.read", 5) == [None] * 5
+    assert plan.consultations("disk.read") == 0
+    plan.arm()
+    assert plan.decide("disk.read") == "io_error"
+    assert plan.consultations("disk.read") == 1
+
+
+def test_inert_plan_is_silent():
+    assert not NO_FAULTS.injects_anything
+    assert NO_FAULTS.decide("disk.read") is None
+    assert len(NO_FAULTS.log) == 0
+
+
+# ---------------------------------------------------------------------------
+# the log
+# ---------------------------------------------------------------------------
+
+def test_log_lines_and_counts():
+    plan = FaultPlan(b"s", {"dma.transfer": FaultSpec(rate=1.0)})
+    plan.decide("dma.transfer", "paddr=0x1000")
+    plan.log.note("kernel.close", "teardown_failure", "pid 3 fd 1")
+    lines = plan.log.to_lines()
+    assert lines[0] == "000000 inject dma.transfer abort #1 paddr=0x1000"
+    assert lines[1] == "000001 note kernel.close teardown_failure #0 pid 3 fd 1"
+    assert plan.log.counts() == {"dma.transfer/abort": 1,
+                                 "kernel.close/teardown_failure": 1}
+    assert plan.log.to_text() == "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# environment hook + system integration
+# ---------------------------------------------------------------------------
+
+def test_plan_from_env_unset_gives_none():
+    assert plan_from_env({}) is None
+    assert plan_from_env({"REPRO_FAULT_SEED": ""}) is None
+
+
+def test_plan_from_env_builds_soak_plan():
+    plan = plan_from_env({"REPRO_FAULT_SEED": "ci-1",
+                          "REPRO_FAULT_RATE": "0.5",
+                          "REPRO_FAULT_SITES": "disk.read, nic.tx"})
+    assert sorted(plan.specs) == ["disk.read", "nic.tx"]
+    assert all(spec.rate == 0.5 for spec in plan.specs.values())
+    reference = soak_plan("ci-1", rate=0.5, sites=["disk.read", "nic.tx"])
+    assert (_decisions(plan, "disk.read", 50)
+            == _decisions(reference, "disk.read", 50))
+
+
+def test_system_create_picks_up_env_seed(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_SEED", "env-soak")
+    monkeypatch.setenv("REPRO_FAULT_RATE", "0.25")
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=16,
+                           disk_mb=16)
+    plan = system.fault_plan
+    assert plan.seed == b"env-soak"
+    assert plan.armed                      # armed once boot finished
+    assert plan.injects_anything
+    assert len(system.fault_log) == 0      # boot ran disarmed: no faults
+
+
+def test_boot_is_bit_identical_with_and_without_plan():
+    """An armed plan changes nothing until a site actually fires."""
+    plain = System.create(VGConfig.virtual_ghost(), memory_mb=16, disk_mb=16)
+    faulty = System.create(VGConfig.virtual_ghost(), memory_mb=16, disk_mb=16,
+                           fault_plan=soak_plan("boot-det", rate=0.2))
+    assert plain.cycles == faulty.cycles
+    assert len(faulty.fault_log) == 0

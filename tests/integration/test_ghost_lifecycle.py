@@ -181,3 +181,58 @@ def test_many_processes_ghost_isolation_under_churn():
         system.install(f"/bin/churn{index}", program)
         proc = system.spawn(f"/bin/churn{index}")
         assert system.run_until_exit(proc) == 0
+
+
+# ---------------------------------------------------------------------------
+# hostile blob handling: every recover_page negative path fails closed
+# ---------------------------------------------------------------------------
+
+def _swap_service(system):
+    return system.kernel.vm.swap
+
+
+def test_truncated_swap_blob_rejected_pages_in_unchanged():
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    swap = _swap_service(system)
+    page = bytes(range(256)) * (PAGE_SIZE // 256)
+    blob = swap.protect_page(7, GHOST_START, page)
+
+    pages_in_before = swap.pages_in
+    for cut in (1, 16, len(blob) // 2, len(blob) - 1):
+        with pytest.raises(SecurityViolation):
+            swap.recover_page(7, GHOST_START, blob[:cut])
+    assert swap.pages_in == pages_in_before
+    # the intact blob still verifies afterwards
+    assert swap.recover_page(7, GHOST_START, blob) == page
+
+
+def test_swap_blob_replay_under_different_binding_rejected():
+    """A blob protected for one (pid, vaddr) must not restore at another:
+    the binding is authenticated, so the OS cannot cross-wire pages."""
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    swap = _swap_service(system)
+    page = b"\xC3" * PAGE_SIZE
+    blob = swap.protect_page(7, GHOST_START, page)
+
+    pages_in_before = swap.pages_in
+    with pytest.raises(SecurityViolation):
+        swap.recover_page(8, GHOST_START, blob)            # other process
+    with pytest.raises(SecurityViolation):
+        swap.recover_page(7, GHOST_START + PAGE_SIZE, blob)  # other page
+    assert swap.pages_in == pages_in_before
+    assert swap.recover_page(7, GHOST_START, blob) == page
+
+
+def test_swap_blob_from_different_key_rejected():
+    """Blobs sealed under another machine's swap key never restore."""
+    from repro.core.swap import SwapService
+
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32)
+    swap = _swap_service(system)
+    foreign = SwapService(b"\x5c" * 32, system.machine.clock)
+    blob = foreign.protect_page(7, GHOST_START, b"\x11" * PAGE_SIZE)
+
+    pages_in_before = swap.pages_in
+    with pytest.raises(SecurityViolation):
+        swap.recover_page(7, GHOST_START, blob)
+    assert swap.pages_in == pages_in_before
