@@ -1,0 +1,189 @@
+"""Per-workload cycle-attribution report (the observability CLI).
+
+Runs the paper's workloads with ``observe=True`` and renders, for each,
+the per-mechanism cycle-attribution table (sandboxing / CFI / secure
+interrupt contexts / MMU checks / ... -- a strict partition of every
+clock cost category, so each table sums exactly to that run's global
+cycle total) followed by the profiler's per-scope table (per-syscall,
+per-device, per-compiler-pass self/total cycles).
+
+Everything printed derives from simulated state only -- simulated
+cycles, event counts, and the always-on machine metrics registry --
+never wall-clock, so two same-seed invocations emit byte-identical
+reports. The CI observability-determinism job runs this twice and
+diffs the whole file.
+
+CLI::
+
+    PYTHONPATH=src python -m benchmarks.profile_report \
+        --workloads lmbench,webserver,postmark,files \
+        --config virtual_ghost --out /tmp/profile.txt
+
+See EXPERIMENTS.md ("Per-mechanism overhead attribution") for how to
+read the tables against the paper's Section 8 numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.config import VGConfig
+from repro.observe import render_mechanism_table
+from repro.workloads.files import run_file_churn
+from repro.workloads.lmbench import LMBench
+from repro.workloads.postmark import run_postmark
+from repro.workloads.webserver import run_thttpd_bandwidth
+
+ALL_WORKLOADS = ("lmbench", "webserver", "postmark", "files")
+
+#: LMBench probes profiled by default (a syscall-, fs- and
+#: signal-shaped slice of the nine; --lmbench-benches overrides).
+DEFAULT_LMBENCH = ("null_syscall", "open_close", "signal_delivery")
+
+
+def _make_config(name: str) -> VGConfig:
+    if name == "native":
+        return VGConfig.native()
+    if name == "virtual_ghost":
+        return VGConfig.virtual_ghost()
+    raise ValueError(f"unknown config {name!r}")
+
+
+# ----------------------------------------------------------------------
+# sections
+# ----------------------------------------------------------------------
+
+def _section(title: str, system, *, trace_tail: int = 0) -> str:
+    """One workload's report block: mechanism table + scope table."""
+    observer = system.machine.observer
+    lines = [f"== {title} ==", "",
+             render_mechanism_table(system.machine.clock, title=title)]
+    if observer.enabled:
+        lines.append("")
+        lines.append("-- scopes --")
+        lines.extend(observer.profiler.export_lines())
+        if trace_tail > 0:
+            events = observer.tracer.events()[-trace_tail:]
+            lines.append("")
+            lines.append(f"-- trace (last {len(events)} events) --")
+            lines.extend(event.line() for event in events)
+    return "\n".join(lines)
+
+
+def profile_lmbench(config, *, iterations: int,
+                    benches=DEFAULT_LMBENCH) -> list[tuple[str, object]]:
+    suite = LMBench(config, iterations=iterations, observe=True)
+    return [(f"lmbench/{name}", suite.run_one(name).system)
+            for name in benches]
+
+
+def profile_webserver(config, *, size: int,
+                      requests: int) -> list[tuple[str, object]]:
+    point = run_thttpd_bandwidth(config, size=size, requests=requests,
+                                 observe=True)
+    return [(f"webserver/{size}B", point.system)]
+
+
+def profile_postmark(config, *,
+                     transactions: int) -> list[tuple[str, object]]:
+    result = run_postmark(config, transactions=transactions, observe=True)
+    return [(f"postmark/{transactions}tx", result.system)]
+
+
+def profile_files(config, *, size: int,
+                  count: int) -> list[tuple[str, object]]:
+    result = run_file_churn(config, size=size, count=count, observe=True)
+    return [(f"files/{size}B", result.system)]
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+def build_report(workloads=ALL_WORKLOADS, *, config_name: str =
+                 "virtual_ghost", iterations: int = 20,
+                 requests: int = 4, web_size: int = 65536,
+                 transactions: int = 120, churn_size: int = 1024,
+                 count: int = 24, lmbench_benches=DEFAULT_LMBENCH,
+                 trace_tail: int = 0) -> str:
+    """Render the full report text (a pure function of its arguments)."""
+    sections = [f"# profile report config={config_name}"]
+    for workload in workloads:
+        config = _make_config(config_name)
+        if workload == "lmbench":
+            runs = profile_lmbench(config, iterations=iterations,
+                                   benches=lmbench_benches)
+        elif workload == "webserver":
+            runs = profile_webserver(config, size=web_size,
+                                     requests=requests)
+        elif workload == "postmark":
+            runs = profile_postmark(config, transactions=transactions)
+        elif workload == "files":
+            runs = profile_files(config, size=churn_size, count=count)
+        else:
+            raise ValueError(f"unknown workload {workload!r}")
+        for title, system in runs:
+            sections.append("")
+            sections.append(_section(f"{title} ({config_name})", system,
+                                     trace_tail=trace_tail))
+    return "\n".join(sections) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.profile_report",
+        description="Render deterministic per-workload cycle-attribution "
+                    "tables (mechanism + profiler scopes).")
+    parser.add_argument("--workloads", default=",".join(ALL_WORKLOADS),
+                        help="comma-separated subset of: "
+                             + ", ".join(ALL_WORKLOADS))
+    parser.add_argument("--config", default="virtual_ghost",
+                        choices=("native", "virtual_ghost"))
+    parser.add_argument("--iterations", type=int, default=20,
+                        help="LMBench iterations per probe")
+    parser.add_argument("--lmbench-benches",
+                        default=",".join(DEFAULT_LMBENCH),
+                        help="which LMBench probes to profile")
+    parser.add_argument("--requests", type=int, default=4,
+                        help="webserver requests")
+    parser.add_argument("--web-size", type=int, default=65536,
+                        help="webserver file size in bytes")
+    parser.add_argument("--transactions", type=int, default=120,
+                        help="postmark transactions")
+    parser.add_argument("--count", type=int, default=24,
+                        help="file-churn files")
+    parser.add_argument("--churn-size", type=int, default=1024,
+                        help="file-churn file size in bytes")
+    parser.add_argument("--trace-tail", type=int, default=0,
+                        help="append the last N trace events per workload")
+    parser.add_argument("--out", default=None,
+                        help="write the report here instead of stdout")
+    args = parser.parse_args(argv)
+
+    workloads = tuple(w.strip() for w in args.workloads.split(",")
+                      if w.strip())
+    for workload in workloads:
+        if workload not in ALL_WORKLOADS:
+            parser.error(f"unknown workload {workload!r}")
+    benches = tuple(b.strip() for b in args.lmbench_benches.split(",")
+                    if b.strip())
+
+    report = build_report(workloads, config_name=args.config,
+                          iterations=args.iterations,
+                          requests=args.requests, web_size=args.web_size,
+                          transactions=args.transactions,
+                          churn_size=args.churn_size, count=args.count,
+                          lmbench_benches=benches,
+                          trace_tail=args.trace_tail)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"profile report ({', '.join(workloads)}, "
+              f"config={args.config}) -> {args.out}")
+    else:
+        print(report, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

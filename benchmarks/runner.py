@@ -93,7 +93,8 @@ def run_point(point: dict) -> dict:
                 "ops": result.ops,
                 "cycles": result.metrics.cycles,
                 "counters": result.metrics.counters,
-                "page_faults": result.page_faults}
+                "page_faults": result.page_faults,
+                "machine_metrics": result.system.metrics.snapshot()}
     if point["kind"] == "files":
         result = run_file_churn(config, size=point["size"],
                                 count=point["count"])
@@ -103,7 +104,8 @@ def run_point(point: dict) -> dict:
                 "create_cycles": result.create_metrics.cycles,
                 "create_counters": result.create_metrics.counters,
                 "delete_cycles": result.delete_metrics.cycles,
-                "delete_counters": result.delete_metrics.counters}
+                "delete_counters": result.delete_metrics.counters,
+                "machine_metrics": result.system.metrics.snapshot()}
     if point["kind"] == "postmark":
         result = run_postmark(config,
                               transactions=point["transactions"])
@@ -113,7 +115,8 @@ def run_point(point: dict) -> dict:
                 "files_created": result.files_created,
                 "files_deleted": result.files_deleted,
                 "bytes_read": result.bytes_read,
-                "bytes_written": result.bytes_written}
+                "bytes_written": result.bytes_written,
+                "machine_metrics": result.system.metrics.snapshot()}
     raise ValueError(f"unknown point kind {point['kind']!r}")
 
 
@@ -131,6 +134,17 @@ def _pair(rows: list[dict], **match) -> dict[str, dict]:
 
 def _ratio(a: float, b: float) -> float:
     return a / b if b else float("inf")
+
+
+def _metrics_pair(pair: dict[str, dict]) -> dict[str, dict]:
+    """Machine-metrics snapshots for a native/vg result pair.
+
+    Simulation facts only (counters and gauges of the always-on
+    per-machine registry), so the embedded snapshots are as deterministic
+    as the rest of the ``results`` section.
+    """
+    return {config: row.get("machine_metrics", {})
+            for config, row in sorted(pair.items())}
 
 
 def merge_tables(tables: tuple[str, ...],
@@ -153,6 +167,7 @@ def merge_tables(tables: tuple[str, ...],
                 "virtual_ghost_us": vg["us_per_op"],
                 "overhead": _ratio(vg["us_per_op"], native["us_per_op"]),
                 "inktag_model": inktag_x,
+                "machine_metrics": _metrics_pair(pair),
             }
         merged["table2"] = table
 
@@ -175,6 +190,7 @@ def merge_tables(tables: tuple[str, ...],
                 "virtual_ghost_per_sec": vg[rate_key],
                 "overhead": _ratio(native[rate_key], vg[rate_key]),
                 "inktag_model": inktag_x,
+                "machine_metrics": _metrics_pair(pair),
             }
         merged[name] = table
 
@@ -189,6 +205,7 @@ def merge_tables(tables: tuple[str, ...],
             "overhead": _ratio(vg["seconds"], native["seconds"]),
             "files_created": native["files_created"],
             "files_deleted": native["files_deleted"],
+            "machine_metrics": _metrics_pair(pair),
         }
     return merged
 

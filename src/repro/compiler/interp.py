@@ -419,7 +419,7 @@ class Interpreter:
     def __init__(self, image: NativeImage, memory: MemoryPort,
                  clock: CycleClock, *, externs: dict[str, ExternFn],
                  stack_top: int, limits: ExecutionLimits | None = None,
-                 reference: bool | None = None):
+                 reference: bool | None = None, observer=None):
         self.image = image
         self.memory = memory
         self.clock = clock
@@ -428,6 +428,9 @@ class Interpreter:
         self.limits = limits or ExecutionLimits()
         self.steps_executed = 0
         self.cfi_violations = 0
+        #: optional Observer; consulted only on (rare) CFI violations so
+        #: the interpreter's hot loop stays untouched
+        self.observer = observer
         if reference is None:
             reference = (os.environ.get("REPRO_INTERP_TIER", "").lower()
                          == "reference")
@@ -605,35 +608,43 @@ class Interpreter:
 
     # -- CFI ------------------------------------------------------------------------
 
+    def _cfi_violation(self, kind: str, addr: int,
+                       message: str) -> CFIViolation:
+        self.cfi_violations += 1
+        if self.observer is not None and self.observer.enabled:
+            self.observer.trace("cfi.violation",
+                                f"kind={kind} target={addr:#x}")
+        return CFIViolation(message)
+
     def _cfi_check_return(self, return_addr: int) -> None:
         if return_addr == self.HOST_RETURN:
             return
         if return_addr < KERNEL_START:
-            self.cfi_violations += 1
-            raise CFIViolation(
+            raise self._cfi_violation(
+                "ret", return_addr,
                 f"return target {return_addr:#x} outside kernel space")
         located = self.image.locate(return_addr)
         if located is None:
-            self.cfi_violations += 1
-            raise CFIViolation(
+            raise self._cfi_violation(
+                "ret", return_addr,
                 f"return target {return_addr:#x} is not kernel code")
         function, index = located
         if function.insns[index].opcode != "cfi_label":
-            self.cfi_violations += 1
-            raise CFIViolation(
+            raise self._cfi_violation(
+                "ret", return_addr,
                 f"return target {return_addr:#x} lacks a CFI label")
 
     def _cfi_check_icall(self, target_addr: int) -> None:
         if target_addr < KERNEL_START:
-            self.cfi_violations += 1
-            raise CFIViolation(
+            raise self._cfi_violation(
+                "icall", target_addr,
                 f"indirect-call target {target_addr:#x} outside kernel "
                 f"space")
         function = self.image.function_at(target_addr)
         if (function is None or not function.insns
                 or function.insns[0].opcode != "cfi_label"):
-            self.cfi_violations += 1
-            raise CFIViolation(
+            raise self._cfi_violation(
+                "icall", target_addr,
                 f"indirect-call target {target_addr:#x} is not a labeled "
                 f"function entry")
 

@@ -16,16 +16,37 @@ class Pass(Protocol):
 
 
 class PassManager:
-    """Runs passes in order, re-verifying after each one."""
+    """Runs passes in order, re-verifying after each one.
 
-    def __init__(self, passes: list[Pass]):
+    With a live observer attached, each pass runs under a
+    ``pass:<name>`` profiling scope and emits a ``compile.pass`` trace
+    event carrying its (sorted, deterministic) statistics.
+    """
+
+    def __init__(self, passes: list[Pass], observer=None):
         self.passes = list(passes)
+        self.observer = observer
 
     def run(self, module: Module) -> dict[str, dict[str, int]]:
         verify_module(module)
+        obs = self.observer
+        observing = obs is not None and obs.enabled
         stats: dict[str, dict[str, int]] = {}
         for pass_ in self.passes:
-            stats[pass_.name] = pass_.run(module)
+            if observing:
+                obs.push(f"pass:{pass_.name}")
+                try:
+                    pass_stats = pass_.run(module)
+                finally:
+                    obs.pop()
+                detail = " ".join(
+                    [f"module={module.name}"]
+                    + [f"{key}={value}" for key, value
+                       in sorted(pass_stats.items())])
+                obs.trace(f"compile.pass.{pass_.name}", detail)
+            else:
+                pass_stats = pass_.run(module)
+            stats[pass_.name] = pass_stats
             verify_module(module)
         return stats
 

@@ -74,6 +74,7 @@ class SVAVM:
                  config: VGConfig | None = None):
         self.machine = machine
         self.clock = machine.clock
+        self.observer = machine.observer
         self.config = config or VGConfig.virtual_ghost()
 
         self.policy = MMUPolicy()
@@ -194,7 +195,12 @@ class SVAVM:
         if instrument and self.config.cfi:
             passes.append(CFIPass())
         if passes:
-            PassManager(passes).run(module)
+            PassManager(passes, observer=self.observer).run(module)
+        if self.observer.enabled:
+            self.observer.trace(
+                "compile.module",
+                f"name={module.name} funcs={len(module.functions)} "
+                f"instrumented={int(bool(passes))}")
 
         image = CodeGenerator(self._code_cursor, self._data_cursor).generate(
             module)
@@ -219,7 +225,8 @@ class SVAVM:
         if self.config.signed_translations:
             image.verify(self.keys.translation_key)
         return Interpreter(image, memory, self.clock, externs=externs,
-                           stack_top=stack_top, limits=limits)
+                           stack_top=stack_top, limits=limits,
+                           observer=self.observer)
 
     # ==================================================================
     # MMU operations (sva.mmu.*)
@@ -247,6 +254,10 @@ class SVAVM:
     def mmu_map_page(self, root: int, vaddr: int, frame: int, *,
                      writable: bool, user: bool, executable: bool = False,
                      from_os: bool = True) -> None:
+        if self.observer.enabled:
+            self.observer.trace(
+                "mmu.map", f"vaddr={page_of(vaddr):#x} frame={frame} "
+                f"w={int(writable)} u={int(user)} os={int(from_os)}")
         if self.config.mmu_checks and from_os:
             self.clock.charge("mmu_check")
             self.policy.check_map(root, vaddr, frame, writable=writable,
@@ -265,6 +276,10 @@ class SVAVM:
 
     def mmu_unmap_page(self, root: int, vaddr: int, *,
                        from_os: bool = True) -> int | None:
+        if self.observer.enabled:
+            self.observer.trace(
+                "mmu.unmap",
+                f"vaddr={page_of(vaddr):#x} os={int(from_os)}")
         if self.config.mmu_checks and from_os:
             self.clock.charge("mmu_check")
             self.policy.check_unmap(root, vaddr, from_os=True)
@@ -280,6 +295,10 @@ class SVAVM:
         frame = self.policy.frame_at(root, page_of(vaddr))
         if frame is None:
             raise KernelError(f"protect of unmapped page {vaddr:#x}")
+        if self.observer.enabled:
+            self.observer.trace(
+                "mmu.protect", f"vaddr={page_of(vaddr):#x} "
+                f"w={int(writable)} os={int(from_os)}")
         if self.config.mmu_checks and from_os:
             self.clock.charge("mmu_check")
             self.policy.check_protect(root, vaddr, frame,
@@ -319,6 +338,9 @@ class SVAVM:
         self.stats["traps"] += 1
         if kind == TrapKind.SYSCALL:
             self.stats["syscalls"] += 1
+        if self.observer.enabled:
+            self.observer.trace("trap.enter",
+                                f"tid={tid} kind={kind.name}")
         self.clock.charge("trap_entry")
         ic = InterruptContext(regs=regs.copy(), kind=kind)
         self.ics.set_current(tid, ic)
@@ -341,6 +363,8 @@ class SVAVM:
         kernel modification of the saved state takes effect -- the attack
         surface the interrupted-state attacks use.
         """
+        if self.observer.enabled:
+            self.observer.trace("trap.exit", f"tid={tid}")
         self.clock.charge("trap_exit")
         ic = self.ics.current(tid)
         if self.config.secure_ic:
@@ -534,6 +558,10 @@ class SVAVM:
     def allocgm(self, pid: int, root: int, vaddr: int,
                 num_pages: int) -> None:
         """Map ``num_pages`` zeroed ghost frames at ``vaddr`` (Table 1)."""
+        if self.observer.enabled:
+            self.observer.trace("ghost.alloc",
+                                f"pid={pid} vaddr={vaddr:#x} "
+                                f"pages={num_pages}")
         self.clock.charge("sva_dispatch")
         if not self.config.ghost_memory:
             raise SecurityViolation("allocgm: ghost memory disabled")
@@ -562,6 +590,10 @@ class SVAVM:
     def freegm(self, pid: int, root: int, vaddr: int,
                num_pages: int) -> None:
         """Unmap, zero, and return ghost frames to the OS (Table 1)."""
+        if self.observer.enabled:
+            self.observer.trace("ghost.free",
+                                f"pid={pid} vaddr={vaddr:#x} "
+                                f"pages={num_pages}")
         self.clock.charge("sva_dispatch")
         if not self.config.ghost_memory:
             raise SecurityViolation("freegm: ghost memory disabled")
@@ -608,6 +640,9 @@ class SVAVM:
 
     def swap_out_ghost(self, pid: int, root: int, vaddr: int) -> bytes:
         """OS asks to reclaim a ghost frame; returns the protected blob."""
+        if self.observer.enabled:
+            self.observer.trace("ghost.swap_out",
+                                f"pid={pid} vaddr={page_of(vaddr):#x}")
         self.clock.charge("sva_dispatch")
         partition = self.ghosts.partition(pid)
         page_vaddr = page_of(vaddr)
@@ -631,6 +666,9 @@ class SVAVM:
     def swap_in_ghost(self, pid: int, root: int, vaddr: int,
                       blob: bytes) -> None:
         """OS returns a swapped page; verify and restore it."""
+        if self.observer.enabled:
+            self.observer.trace("ghost.swap_in",
+                                f"pid={pid} vaddr={page_of(vaddr):#x}")
         self.clock.charge("sva_dispatch")
         partition = self.ghosts.partition(pid)
         page_vaddr = page_of(vaddr)

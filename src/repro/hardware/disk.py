@@ -21,6 +21,7 @@ from repro.errors import DeviceFault, HardwareError
 from repro.faults import NO_FAULTS, FaultPlan
 from repro.hardware.clock import CycleClock
 from repro.hardware.dma import DMAEngine
+from repro.observe import NULL_OBSERVER
 
 SECTOR_SIZE = 512
 
@@ -29,12 +30,13 @@ class Disk:
     """Sparse sector store (unwritten sectors read as zeros)."""
 
     def __init__(self, num_sectors: int, clock: CycleClock,
-                 faults: FaultPlan | None = None):
+                 faults: FaultPlan | None = None, observer=None):
         if num_sectors <= 0:
             raise ValueError("disk needs at least one sector")
         self.num_sectors = num_sectors
         self.clock = clock
         self.faults = faults if faults is not None else NO_FAULTS
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self._sectors: dict[int, bytes] = {}
         self.read_errors = 0
         self.write_errors = 0
@@ -46,6 +48,17 @@ class Disk:
     # -- programmed I/O ------------------------------------------------------
 
     def read_sectors(self, lba: int, count: int) -> bytes:
+        obs = self.observer
+        if not obs.enabled:
+            return self._read_sectors(lba, count)
+        obs.trace("disk.read", f"lba={lba} count={count}")
+        obs.push("device:disk")
+        try:
+            return self._read_sectors(lba, count)
+        finally:
+            obs.pop()
+
+    def _read_sectors(self, lba: int, count: int) -> bytes:
         self._check(lba, count)
         self._charge(count)
         if self.faults.decide("disk.read",
@@ -58,6 +71,18 @@ class Disk:
             for sector in range(lba, lba + count))
 
     def write_sectors(self, lba: int, data: bytes) -> None:
+        obs = self.observer
+        if not obs.enabled:
+            return self._write_sectors(lba, data)
+        obs.trace("disk.write",
+                  f"lba={lba} count={len(data) // SECTOR_SIZE}")
+        obs.push("device:disk")
+        try:
+            return self._write_sectors(lba, data)
+        finally:
+            obs.pop()
+
+    def _write_sectors(self, lba: int, data: bytes) -> None:
         if len(data) % SECTOR_SIZE:
             raise HardwareError(
                 f"write length {len(data)} not sector-aligned")

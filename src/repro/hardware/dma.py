@@ -16,21 +16,34 @@ from repro.faults import NO_FAULTS, FaultPlan
 from repro.hardware.clock import CycleClock
 from repro.hardware.iommu import IOMMU
 from repro.hardware.memory import PAGE_SIZE, PhysicalMemory
+from repro.observe import NULL_OBSERVER
 
 
 class DMAEngine:
     """Validated physical-memory copy engine shared by all devices."""
 
     def __init__(self, phys: PhysicalMemory, iommu: IOMMU, clock: CycleClock,
-                 faults: FaultPlan | None = None):
+                 faults: FaultPlan | None = None, observer=None):
         self.phys = phys
         self.iommu = iommu
         self.clock = clock
         self.faults = faults if faults is not None else NO_FAULTS
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.aborts = 0
 
     def read_memory(self, paddr: int, length: int) -> bytes:
         """Device reads ``length`` bytes out of physical memory."""
+        obs = self.observer
+        if not obs.enabled:
+            return self._read_memory(paddr, length)
+        obs.trace("dma.read", f"paddr={paddr:#x} len={length}")
+        obs.push("device:dma")
+        try:
+            return self._read_memory(paddr, length)
+        finally:
+            obs.pop()
+
+    def _read_memory(self, paddr: int, length: int) -> bytes:
         self.authorize(paddr, length, write=False)
         self._charge(length)
         self._maybe_abort(paddr, length)
@@ -38,6 +51,17 @@ class DMAEngine:
 
     def write_memory(self, paddr: int, data: bytes) -> None:
         """Device writes ``data`` into physical memory."""
+        obs = self.observer
+        if not obs.enabled:
+            return self._write_memory(paddr, data)
+        obs.trace("dma.write", f"paddr={paddr:#x} len={len(data)}")
+        obs.push("device:dma")
+        try:
+            return self._write_memory(paddr, data)
+        finally:
+            obs.pop()
+
+    def _write_memory(self, paddr: int, data: bytes) -> None:
         self.authorize(paddr, len(data), write=True)
         self._charge(len(data))
         self._maybe_abort(paddr, len(data))

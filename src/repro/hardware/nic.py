@@ -23,6 +23,7 @@ from typing import Protocol
 
 from repro.faults import NO_FAULTS, FaultPlan
 from repro.hardware.clock import CycleClock
+from repro.observe import NULL_OBSERVER
 
 #: Maximum transmission unit; payloads are segmented into MTU-sized packets
 #: for cost purposes.
@@ -38,10 +39,11 @@ class NIC:
     """One network interface with an rx queue and an attached peer."""
 
     def __init__(self, clock: CycleClock, name: str = "nic0",
-                 faults: FaultPlan | None = None):
+                 faults: FaultPlan | None = None, observer=None):
         self.clock = clock
         self.name = name
         self.faults = faults if faults is not None else NO_FAULTS
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.peer: Endpoint | None = None
         self.rx_queue: list[bytes] = []
         self.tx_bytes = 0
@@ -56,6 +58,17 @@ class NIC:
 
     def send(self, payload: bytes) -> None:
         """Transmit a payload; charges per-packet + per-byte wire time."""
+        obs = self.observer
+        if not obs.enabled:
+            return self._send(payload)
+        obs.trace("nic.tx", f"{self.name} bytes={len(payload)}")
+        obs.push("device:nic")
+        try:
+            return self._send(payload)
+        finally:
+            obs.pop()
+
+    def _send(self, payload: bytes) -> None:
         if self.peer is None:
             raise RuntimeError(f"{self.name}: no peer attached")
         packets = max(1, -(-len(payload) // MTU))
@@ -84,6 +97,17 @@ class NIC:
 
     def deliver(self, payload: bytes) -> None:
         """Called by the wire when a payload arrives for this NIC."""
+        obs = self.observer
+        if not obs.enabled:
+            return self._deliver(payload)
+        obs.trace("nic.rx", f"{self.name} bytes={len(payload)}")
+        obs.push("device:nic")
+        try:
+            return self._deliver(payload)
+        finally:
+            obs.pop()
+
+    def _deliver(self, payload: bytes) -> None:
         packets = max(1, -(-len(payload) // MTU))
         if self.faults.decide("nic.rx",
                               f"{self.name} {len(payload)}B") is not None:

@@ -21,6 +21,7 @@ from repro.hardware.memory import PAGE_SIZE, PhysicalMemory
 from repro.hardware.mmu import MMU, PageTableEditor
 from repro.hardware.nic import NIC
 from repro.hardware.tpm import TPM
+from repro.observe import NULL_OBSERVER, MetricsRegistry, Observer
 
 
 @dataclass
@@ -38,6 +39,11 @@ class MachineConfig:
     #: Deterministic fault-injection plan consulted by every device and
     #: by the kernel (None = a fresh inert plan: nothing injected).
     faults: FaultPlan | None = None
+    #: Observability: ``True`` builds a live tracer/profiler, an
+    #: :class:`~repro.observe.Observer` instance is used as-is, and the
+    #: default ``False`` shares the no-op :data:`NULL_OBSERVER` so the
+    #: fast path at every instrumented site is one attribute check.
+    observe: bool | Observer = False
 
 
 class Machine:
@@ -49,6 +55,17 @@ class Machine:
         # kernel code can log handled failures even in fault-free runs.
         self.faults = self.config.faults or FaultPlan()
         self.clock = CycleClock(self.config.costs)
+        # Operational metrics are always on (a counter is one integer
+        # add); tracing/profiling only when observe was requested.
+        self.metrics = MetricsRegistry()
+        observe = self.config.observe
+        if isinstance(observe, Observer):
+            self.observer = observe
+        elif observe:
+            self.observer = Observer()
+        else:
+            self.observer = NULL_OBSERVER
+        self.observer.attach(self.clock, self.metrics)
         self.phys = PhysicalMemory(self.config.memory_frames)
         self.cpu = CPU()
         self.mmu = MMU(self.phys, self.clock)
@@ -57,13 +74,28 @@ class Machine:
         self.iommu = IOMMU(self.clock)
         self.iommu.attach_ports(self.ports)
         self.dma = DMAEngine(self.phys, self.iommu, self.clock,
-                             faults=self.faults)
+                             faults=self.faults, observer=self.observer)
         self.interrupts = InterruptController(self.clock)
         self.disk = Disk(self.config.disk_sectors, self.clock,
-                         faults=self.faults)
-        self.nic = NIC(self.clock, faults=self.faults)
+                         faults=self.faults, observer=self.observer)
+        self.nic = NIC(self.clock, faults=self.faults,
+                       observer=self.observer)
         self.tpm = TPM(self.clock, serial=self.config.serial)
         self.console = Console()
+        self._register_device_gauges()
+
+    def _register_device_gauges(self) -> None:
+        """Surface device counters through the machine's metrics registry."""
+        metrics = self.metrics
+        metrics.gauge("disk.read_errors", lambda: self.disk.read_errors)
+        metrics.gauge("disk.write_errors", lambda: self.disk.write_errors)
+        metrics.gauge("dma.aborts", lambda: self.dma.aborts)
+        metrics.gauge("nic.tx_bytes", lambda: self.nic.tx_bytes)
+        metrics.gauge("nic.rx_bytes", lambda: self.nic.rx_bytes)
+        metrics.gauge("nic.tx_dropped", lambda: self.nic.tx_dropped)
+        metrics.gauge("nic.tx_duplicated", lambda: self.nic.tx_duplicated)
+        metrics.gauge("nic.tx_delayed", lambda: self.nic.tx_delayed)
+        metrics.gauge("nic.rx_dropped", lambda: self.nic.rx_dropped)
 
     @property
     def fault_log(self):

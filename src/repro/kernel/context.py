@@ -217,6 +217,7 @@ class KernelContext:
         self.machine = machine
         self.clock = machine.clock
         self.config = config
+        self.observer = machine.observer
         self.port = SupervisorMemoryPort(machine)
         self.masked_accesses = 0
 
@@ -250,6 +251,11 @@ class KernelContext:
         masked = mask_address(vaddr)
         if masked != (vaddr & _U64):
             self.masked_accesses += 1
+            if self.observer.enabled:
+                # an actual redirection (kernel touched a protected
+                # address) is rare enough to trace individually
+                self.observer.trace("sandbox.masked",
+                                    f"vaddr={vaddr & _U64:#x}")
         return masked
 
     def read_virt(self, vaddr: int, length: int) -> bytes:

@@ -34,7 +34,8 @@ from repro.kernel.signals import SignalSubsystem
 from repro.kernel.simplefs import SimpleFS
 from repro.kernel.swapstore import GhostSwapStore
 from repro.kernel.syscalls import dispatch as syscall_dispatch
-from repro.kernel.syscalls.table import ExecImage, ProcessExited
+from repro.kernel.syscalls.table import (SYSCALL_NAMES, ExecImage,
+                                         ProcessExited)
 from repro.kernel.vfs import VFS
 
 if TYPE_CHECKING:
@@ -244,7 +245,38 @@ class Kernel:
         self.devfs = DevFS(self.machine.console,
                            seed=self.machine.config.serial)
         self.vfs.mount("/dev", self.devfs)
+        self._register_gauges()
         self.booted = True
+
+    def _register_gauges(self) -> None:
+        """Surface kernel subsystem counters through ``machine.metrics``.
+
+        Gauge re-registration replaces the source, so a second kernel
+        booted on the same machine simply rebinds them.
+        """
+        metrics = self.machine.metrics
+        metrics.gauge("sched.switches", lambda: self.scheduler.switches)
+        metrics.gauge("kernel.close_failures", lambda: self.close_failures)
+        metrics.gauge("kernel.user_faults", lambda: self.user_faults)
+        metrics.gauge("vm.page_faults", lambda: self.vmm.page_faults)
+        metrics.gauge("vm.pages_swapped_out",
+                      lambda: self.vmm.pages_swapped_out)
+        metrics.gauge("vm.frames_available",
+                      lambda: self.vmm.frames.available)
+        metrics.gauge("vm.frame_allocs", lambda: self.vmm.frames.allocs)
+        metrics.gauge("vm.frame_frees", lambda: self.vmm.frames.frees)
+        metrics.gauge("vm.frame_alloc_denied",
+                      lambda: self.vmm.frames.denied)
+        metrics.gauge("fs.cache.hits", lambda: self.fs.cache.hits)
+        metrics.gauge("fs.cache.misses", lambda: self.fs.cache.misses)
+        metrics.gauge("fs.cache.io_errors", lambda: self.fs.cache.io_errors)
+        metrics.gauge("swap.store.swapped_out",
+                      lambda: self.swapper.swapped_out)
+        metrics.gauge("swap.store.swapped_in",
+                      lambda: self.swapper.swapped_in)
+        metrics.gauge("swap.store.lost", lambda: self.swapper.lost)
+        metrics.gauge("swap.store.rejected", lambda: self.swapper.rejected)
+        metrics.gauge("swap.store.held", lambda: len(self.swapper))
 
     # ==================================================================
     # program installation & process creation
@@ -409,6 +441,23 @@ class Kernel:
         Returns True when the thread may continue running, False when it
         blocked or its process ended.
         """
+        obs = self.machine.observer
+        if not obs.enabled:
+            return self._execute_syscall(thread, request)
+        name = SYSCALL_NAMES.get(request.number, str(request.number))
+        obs.trace("syscall.enter",
+                  f"pid={thread.proc.pid} tid={thread.tid} name={name}")
+        obs.push(f"syscall:{name}")
+        try:
+            return self._execute_syscall(thread, request)
+        finally:
+            obs.pop()
+            obs.trace("syscall.exit",
+                      f"pid={thread.proc.pid} tid={thread.tid} "
+                      f"name={name}")
+
+    def _execute_syscall(self, thread: Thread,
+                         request: SyscallRequest) -> bool:
         proc = thread.proc
         self.current_thread = thread
         self._load_syscall_regs(thread, request)
@@ -589,8 +638,19 @@ class Kernel:
     def switch_to(self, thread: Thread) -> None:
         root = thread.proc.aspace.root
         if self.machine.cpu.cr3 != root:
-            self.vm.mmu_load_root(root)
-            self.ctx.work(mem=20, ops=35, rets=2)
+            obs = self.machine.observer
+            if obs.enabled:
+                obs.trace("sched.switch",
+                          f"pid={thread.proc.pid} tid={thread.tid}")
+                obs.push("sched:switch")
+                try:
+                    self.vm.mmu_load_root(root)
+                    self.ctx.work(mem=20, ops=35, rets=2)
+                finally:
+                    obs.pop()
+            else:
+                self.vm.mmu_load_root(root)
+                self.ctx.work(mem=20, ops=35, rets=2)
         self.current_thread = thread
 
     def read_user(self, proc: Process, vaddr: int, length: int) -> bytes:

@@ -43,13 +43,18 @@ class FrameAllocator:
         self._free = list(range(num_frames - 1, 0, -1))
         self.total = num_frames - 1
         self.faults = faults if faults is not None else NO_FAULTS
+        self.allocs = 0
+        self.frees = 0
+        self.denied = 0
 
     def alloc(self) -> int:
         if self.faults.decide("kernel.frame_alloc") is not None:
+            self.denied += 1
             raise SyscallError("ENOMEM",
                                "transient frame exhaustion (injected)")
         if not self._free:
             raise KernelError("out of physical memory")
+        self.allocs += 1
         return self._free.pop()
 
     def alloc_many(self, count: int) -> list[int]:
@@ -66,6 +71,7 @@ class FrameAllocator:
         return frames
 
     def free(self, frame: int) -> None:
+        self.frees += 1
         self._free.append(frame)
 
     @property

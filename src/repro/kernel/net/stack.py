@@ -131,17 +131,29 @@ class _LoopbackPeer:
             self.stack.kernel.scheduler.wake(("socket", id(other)))
 
 
-class ListenSocket:
-    """A bound, listening endpoint with an accept backlog."""
+#: Default accept-queue depth (FreeBSD's historical SOMAXCONN-ish cap).
+LISTEN_BACKLOG = 16
 
-    def __init__(self, stack: "NetworkStack", port: int):
+
+class ListenSocket:
+    """A bound, listening endpoint with a bounded accept backlog."""
+
+    def __init__(self, stack: "NetworkStack", port: int,
+                 backlog_max: int = LISTEN_BACKLOG):
+        if backlog_max <= 0:
+            raise SyscallError("EINVAL", f"backlog {backlog_max}")
         self.stack = stack
         self.port = port
+        self.backlog_max = backlog_max
         self.backlog: list[Connection] = []
 
     @property
     def readable(self) -> bool:
         return bool(self.backlog)
+
+    @property
+    def full(self) -> bool:
+        return len(self.backlog) >= self.backlog_max
 
 
 class NetworkStack:
@@ -162,12 +174,27 @@ class NetworkStack:
         self._remote_services: dict[tuple[str, int],
                                     Callable[[], RemotePeer]] = {}
         self.connections_accepted = 0
+        # Operational counters live in the machine's metrics registry
+        # (create-or-get, so a rebuilt kernel on the same machine keeps
+        # accumulating into the same counters).
+        metrics = kernel.machine.metrics
+        self._backlog_overflow = metrics.counter("net.backlog_overflow")
+        self._listener_reset = metrics.counter("net.listener_reset")
+        metrics.gauge("net.connections_accepted",
+                      lambda: self.connections_accepted)
+        metrics.gauge("net.dead_letters",
+                      lambda: self.wire.dead_letters if self.wire else 0)
+        metrics.gauge("net.dead_letter_bytes",
+                      lambda: (self.wire.dead_letter_bytes
+                               if self.wire else 0))
 
     @property
     def stats(self) -> dict[str, int]:
         """Observable stack counters, including dropped/discarded traffic."""
         stats = {
             "connections_accepted": self.connections_accepted,
+            "backlog_overflow": self._backlog_overflow.value,
+            "listener_reset": self._listener_reset.value,
             "tx_bytes": self.nic.tx_bytes,
             "rx_bytes": self.nic.rx_bytes,
             "dead_letters": self.wire.dead_letters if self.wire else 0,
@@ -179,16 +206,37 @@ class NetworkStack:
 
     # -- server side -----------------------------------------------------------
 
-    def listen(self, port: int) -> ListenSocket:
+    def listen(self, port: int,
+               backlog: int = LISTEN_BACKLOG) -> ListenSocket:
         if port in self._listeners:
             raise SyscallError("EADDRINUSE", f"port {port}")
-        listener = ListenSocket(self, port)
+        listener = ListenSocket(self, port, backlog_max=backlog)
         self._listeners[port] = listener
         self.kernel.ctx.work(mem=10, ops=16)
         return listener
 
     def unlisten(self, port: int) -> None:
-        self._listeners.pop(port, None)
+        """Tear a listener down, resetting any still-queued connections.
+
+        Queued peers observe a reset (``on_close``) instead of holding a
+        leaked half-open connection forever; blocked accepters are woken
+        so their restarted accept can fail cleanly.
+        """
+        listener = self._listeners.pop(port, None)
+        if listener is None:
+            return
+        for conn in listener.backlog:
+            self._listener_reset.inc()
+            conn.local_open = False
+            if conn.remote_open:
+                conn.peer.on_close(conn)
+            conn.remote_open = False
+        listener.backlog.clear()
+        self.kernel.scheduler.wake(("accept", id(listener)))
+
+    def is_listening(self, listener: ListenSocket) -> bool:
+        """Is this exact listener still bound to its port?"""
+        return self._listeners.get(listener.port) is listener
 
     def accept(self, listener: ListenSocket) -> Connection | None:
         if not listener.backlog:
@@ -202,6 +250,15 @@ class NetworkStack:
         listener = self._listeners.get(port)
         if listener is None:
             raise SyscallError("ECONNREFUSED", f"no listener on {port}")
+        if listener.full:
+            # accept queue full: the SYN is answered with a RST (one
+            # wire round trip), and the peer sees ECONNREFUSED
+            self._backlog_overflow.inc()
+            self.nic.deliver(b"")
+            self.nic.receive()
+            self.nic.send(b"")
+            raise SyscallError("ECONNREFUSED",
+                               f"backlog full on port {port}")
         conn = Connection(self, peer)
         # TCP handshake + (eventual) teardown: SYN, SYN-ACK, ACK, two
         # FINs and an ACK -- six wire events charged up front
@@ -226,6 +283,10 @@ class NetworkStack:
         listener = self._listeners.get(port)
         if listener is None:
             raise SyscallError("ECONNREFUSED", f"local port {port}")
+        if listener.full:
+            self._backlog_overflow.inc()
+            raise SyscallError("ECONNREFUSED",
+                               f"backlog full on local port {port}")
         client_conn = Connection(self, _LoopbackPeer(self))
         server_conn = Connection(self, _LoopbackPeer(self))
         client_conn.via_nic = False

@@ -66,6 +66,15 @@ class PipeEnd(Vnode):
                 and self.pipe.write_open)
 
     @property
+    def would_block_write(self) -> bool:
+        """Full pipe with a live reader: the writer must sleep.
+
+        (With no reader the write raises EPIPE instead -- see write.)
+        """
+        return (not self.is_read_end and self.pipe.read_open
+                and self.pipe.space_available == 0)
+
+    @property
     def at_eof(self) -> bool:
         return (self.is_read_end and not self.pipe.buffer
                 and not self.pipe.write_open)

@@ -13,8 +13,8 @@ from typing import TYPE_CHECKING
 
 from repro.errors import SyscallError
 from repro.kernel.blocking import (WouldBlock, pipe_read_channel,
-                                   socket_channel)
-from repro.kernel.net.socket import SocketVnode
+                                   pipe_write_channel, socket_channel)
+from repro.kernel.net.socket import ListenVnode, SocketVnode
 from repro.kernel.pipe import PipeEnd, make_pipe
 from repro.kernel.vfs import (O_APPEND, O_CREAT, O_TRUNC, OpenFile,
                               VnodeType)
@@ -69,9 +69,14 @@ def sys_close(kernel: "Kernel", thread: "Thread", fd: int) -> int:
         if isinstance(open_file.vnode, PipeEnd):
             open_file.vnode.close_end()
             kernel.scheduler.wake(pipe_read_channel(open_file.vnode.pipe))
-            kernel.scheduler.wake(("pipe_write", id(open_file.vnode.pipe)))
+            kernel.scheduler.wake(pipe_write_channel(open_file.vnode.pipe))
         elif isinstance(open_file.vnode, SocketVnode):
             open_file.vnode.close_socket()
+        elif isinstance(open_file.vnode, ListenVnode):
+            # Closing the listening fd tears the listener down; queued
+            # connections are reset and blocked accepters wake (their
+            # restarted accept then sees EBADF).
+            kernel.net.unlisten(open_file.vnode.listener.port)
     kernel.ctx.work(mem=400, ops=220, rets=16, icalls=5)
     return 0
 
@@ -89,6 +94,9 @@ def sys_read(kernel: "Kernel", thread: "Thread", fd: int, buf_addr: int,
         if vnode.would_block_read:
             raise WouldBlock(pipe_read_channel(vnode.pipe))
         data = vnode.read(0, count)
+        if data:
+            # draining the pipe opened up space: resume blocked writers
+            kernel.scheduler.wake(pipe_write_channel(vnode.pipe))
     elif isinstance(vnode, SocketVnode):
         if not vnode.conn.rx_buffer and not vnode.conn.at_eof:
             raise WouldBlock(socket_channel(vnode.conn))
@@ -112,6 +120,10 @@ def sys_write(kernel: "Kernel", thread: "Thread", fd: int, buf_addr: int,
     data = kernel.ctx.copyin(buf_addr, count)
     vnode = open_file.vnode
     if isinstance(vnode, (PipeEnd, SocketVnode)):
+        if isinstance(vnode, PipeEnd) and data and vnode.would_block_write:
+            # full pipe with a live reader: park until a read drains it
+            # (the syscall restarts and re-copies its buffer)
+            raise WouldBlock(pipe_write_channel(vnode.pipe))
         written = vnode.write(0, data)
         if isinstance(vnode, PipeEnd):
             kernel.scheduler.wake(pipe_read_channel(vnode.pipe))
@@ -125,6 +137,11 @@ def sys_write(kernel: "Kernel", thread: "Thread", fd: int, buf_addr: int,
 def sys_lseek(kernel: "Kernel", thread: "Thread", fd: int, offset: int,
               whence: int) -> int:
     open_file = _file(kernel, thread, fd)
+    if open_file.vnode.vtype in (VnodeType.FIFO, VnodeType.SOCKET):
+        # POSIX: pipes, FIFOs, and sockets are not seekable; before this
+        # check a pipe fd silently kept a meaningless offset.
+        raise SyscallError("ESPIPE",
+                           f"lseek on non-seekable fd {fd}")
     if whence == SEEK_SET:
         new_offset = offset
     elif whence == SEEK_CUR:

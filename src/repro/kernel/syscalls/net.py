@@ -11,6 +11,7 @@ from typing import TYPE_CHECKING
 from repro.errors import SyscallError
 from repro.kernel.blocking import WouldBlock, accept_channel
 from repro.kernel.net.socket import ListenVnode, SocketVnode
+from repro.kernel.net.stack import LISTEN_BACKLOG
 from repro.kernel.vfs import O_RDWR, OpenFile
 
 if TYPE_CHECKING:
@@ -23,8 +24,9 @@ def sys_socket(kernel: "Kernel", thread: "Thread") -> int:
     return 0          # placeholder descriptor protocol; see listen/connect
 
 
-def sys_listen(kernel: "Kernel", thread: "Thread", port: int) -> int:
-    listener = kernel.net.listen(port)
+def sys_listen(kernel: "Kernel", thread: "Thread", port: int,
+               backlog: int = LISTEN_BACKLOG) -> int:
+    listener = kernel.net.listen(port, backlog=backlog)
     fd = thread.proc.alloc_fd(OpenFile(vnode=ListenVnode(listener),
                                        flags=O_RDWR))
     kernel.ctx.work(mem=20, ops=30, rets=2)
@@ -36,6 +38,9 @@ def sys_accept(kernel: "Kernel", thread: "Thread", fd: int) -> int:
     if open_file is None or not isinstance(open_file.vnode, ListenVnode):
         raise SyscallError("EBADF", f"fd {fd} is not listening")
     listener = open_file.vnode.listener
+    if not kernel.net.is_listening(listener):
+        # the listener was torn down (unlisten) while we held the fd
+        raise SyscallError("EINVAL", f"fd {fd} no longer listening")
     conn = kernel.net.accept(listener)
     if conn is None:
         raise WouldBlock(accept_channel(listener))

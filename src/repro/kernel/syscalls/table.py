@@ -48,7 +48,7 @@ ERRNO = {
     "EPERM": 1, "ENOENT": 2, "ESRCH": 3, "EINTR": 4, "EIO": 5,
     "EBADF": 9, "ECHILD": 10, "ENOMEM": 12, "EACCES": 13, "EFAULT": 14,
     "EEXIST": 17, "ENOTDIR": 20, "EISDIR": 21, "EINVAL": 22,
-    "EMFILE": 24, "EFBIG": 27, "ENOSPC": 28, "EPIPE": 32,
+    "EMFILE": 24, "EFBIG": 27, "ENOSPC": 28, "ESPIPE": 29, "EPIPE": 32,
     "ENAMETOOLONG": 63, "ENOSYS": 78, "ENOTEMPTY": 66,
     "EADDRINUSE": 48, "ECONNREFUSED": 61, "ECONNRESET": 54,
     "EAGAIN": 35,

@@ -1,0 +1,131 @@
+"""Deterministic observability: tracing, metrics, cycle profiling.
+
+Three pieces, one facade:
+
+- :class:`~repro.observe.trace.Tracer` -- bounded ring of typed events
+  stamped with *simulated* cycles (never wall-clock).
+- :class:`~repro.observe.metrics.MetricsRegistry` -- named counters /
+  histograms / gauges with one snapshot/diff/export API. Always on
+  (one per machine); counters are a single integer add.
+- :class:`~repro.observe.profile.CycleProfiler` -- attributes
+  ``CycleClock`` deltas to the active scope (per-syscall, per-device,
+  per-compiler-pass) so reports can say where simulated time went.
+
+Tracing and profiling are **off by default**: instrumentation sites
+hold a reference to :data:`NULL_OBSERVER` (``enabled`` is False) and
+guard every event build behind ``if observer.enabled``, so the disabled
+path costs one attribute check. ``System.create(observe=True)`` swaps
+in a live :class:`Observer`.
+
+Observability never charges simulated cycles: with observe on or off,
+``clock.cycles`` for the same seed is identical (tests assert this).
+"""
+
+from __future__ import annotations
+
+from repro.observe.metrics import Counter, Histogram, MetricsRegistry
+from repro.observe.profile import CycleProfiler
+from repro.observe.report import (MECHANISM_GROUPS, MECHANISM_ORDER,
+                                  check_partition, mechanism_breakdown,
+                                  render_mechanism_table)
+from repro.observe.trace import TRACE_CAPACITY, TraceEvent, Tracer
+
+__all__ = [
+    "Counter", "Histogram", "MetricsRegistry",
+    "CycleProfiler", "Tracer", "TraceEvent", "TRACE_CAPACITY",
+    "Observer", "NULL_OBSERVER",
+    "MECHANISM_GROUPS", "MECHANISM_ORDER", "check_partition",
+    "mechanism_breakdown", "render_mechanism_table",
+    "observe_report",
+]
+
+
+class Observer:
+    """Live observability facade bound to one machine.
+
+    Instrumentation sites call ``trace``/``push``/``pop`` through this
+    object; the null twin below makes the disabled path a no-op.
+    """
+
+    enabled = True
+
+    def __init__(self, *, trace_capacity: int = TRACE_CAPACITY):
+        self.tracer = Tracer(capacity=trace_capacity)
+        self.profiler = CycleProfiler()
+        self.metrics: MetricsRegistry | None = None
+
+    def attach(self, clock, metrics: MetricsRegistry) -> None:
+        self.tracer.bind_clock(clock)
+        self.profiler.bind_clock(clock)
+        self.metrics = metrics
+
+    # -- delegation (hot sites guard on ``enabled`` before calling) ----------
+
+    def trace(self, kind: str, detail: str = "") -> None:
+        self.tracer.emit(kind, detail)
+
+    def push(self, scope: str) -> None:
+        self.profiler.push(scope)
+
+    def pop(self) -> None:
+        self.profiler.pop()
+
+    # -- export --------------------------------------------------------------
+
+    def export_text(self) -> str:
+        sections = ["== scopes =="]
+        sections.extend(self.profiler.export_lines())
+        if self.metrics is not None:
+            sections.append("== metrics ==")
+            sections.append(self.metrics.export_text().rstrip("\n"))
+        sections.append("== trace ==")
+        sections.append(self.tracer.export_text().rstrip("\n"))
+        return "\n".join(sections) + "\n"
+
+
+class _NullObserver:
+    """Disabled observability: every operation is a cheap no-op.
+
+    A single module-level instance backs every un-observed machine, so
+    the fast path at each instrumentation site is one attribute load
+    plus a false branch.
+    """
+
+    enabled = False
+    tracer = None
+    profiler = None
+    metrics = None
+
+    def attach(self, clock, metrics) -> None:
+        pass
+
+    def trace(self, kind: str, detail: str = "") -> None:
+        pass
+
+    def push(self, scope: str) -> None:
+        pass
+
+    def pop(self) -> None:
+        pass
+
+    def export_text(self) -> str:
+        return "observability disabled\n"
+
+
+NULL_OBSERVER = _NullObserver()
+
+
+def observe_report(system, *, title: str = "mechanism") -> str:
+    """Full deterministic report for one system run.
+
+    Per-mechanism cycle attribution (always available -- it reads the
+    clock), then scope/metrics/trace sections when the system was
+    created with ``observe=True``.
+    """
+    clock = system.machine.clock
+    parts = [render_mechanism_table(clock, title=title)]
+    observer = system.machine.observer
+    if observer.enabled:
+        parts.append("")
+        parts.append(observer.export_text().rstrip("\n"))
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,147 @@
+"""Metrics registry: named counters, histograms, and pull gauges.
+
+One registry exists per :class:`~repro.hardware.platform.Machine`
+(``machine.metrics``) and is **always on** -- counters cost one integer
+add, gauges cost nothing until sampled -- so kernel components register
+their operational counters here instead of growing ad-hoc attribute
+scatter (``NetworkStack.stats``, NIC fault counters, swapstore tallies
+all surface through the same snapshot/diff/export API now).
+
+Determinism: a snapshot is a pure function of simulated execution.
+Nothing in this module reads wall-clock time or host state, and exports
+are sorted by name, so two same-seed runs produce byte-identical
+exports (the CI observability job diffs them).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Power-of-two bucketed value distribution.
+
+    ``observe(v)`` files ``v`` into bucket ``v.bit_length()`` (bucket i
+    holds values in ``[2**(i-1), 2**i)``; bucket 0 holds zero). Fixed
+    arithmetic -- no floats -- keeps exports bit-stable.
+    """
+
+    __slots__ = ("name", "count", "total", "vmin", "vmax", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.vmin: int | None = None
+        self.vmax: int | None = None
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name!r}: negative value "
+                             f"{value}")
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        bucket = value.bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def flatten(self) -> dict[str, int]:
+        """Histogram as flat snapshot entries (deterministic order)."""
+        out = {f"{self.name}.count": self.count,
+               f"{self.name}.sum": self.total}
+        if self.count:
+            out[f"{self.name}.min"] = self.vmin
+            out[f"{self.name}.max"] = self.vmax
+        for bucket in sorted(self.buckets):
+            upper = 0 if bucket == 0 else (1 << bucket) - 1
+            out[f"{self.name}.le_{upper}"] = self.buckets[bucket]
+        return out
+
+
+class MetricsRegistry:
+    """Create-or-get registry of counters, histograms, and gauges."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Callable[[], int]] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            self._require_free(name, but="counter")
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            self._require_free(name, but="histogram")
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def gauge(self, name: str, fn: Callable[[], int]) -> None:
+        """Register (or re-register) a pull source sampled at snapshot.
+
+        Re-registration replaces the source: components that are rebuilt
+        on the same machine (e.g. a kernel re-created in tests) simply
+        rebind their gauges.
+        """
+        if name in self._counters or name in self._histograms:
+            raise ValueError(f"metric name {name!r} already in use")
+        self._gauges[name] = fn
+
+    def _require_free(self, name: str, *, but: str) -> None:
+        for kind, table in (("counter", self._counters),
+                            ("histogram", self._histograms),
+                            ("gauge", self._gauges)):
+            if kind != but and name in table:
+                raise ValueError(f"metric name {name!r} already "
+                                 f"registered as a {kind}")
+
+    # -- snapshot / diff / export ------------------------------------------
+
+    def snapshot(self) -> dict[str, int]:
+        """All metrics as one flat ``name -> int`` dict, sorted by name."""
+        flat: dict[str, int] = {}
+        for name, counter in self._counters.items():
+            flat[name] = counter.value
+        for histogram in self._histograms.values():
+            flat.update(histogram.flatten())
+        for name, fn in self._gauges.items():
+            flat[name] = int(fn())
+        return dict(sorted(flat.items()))
+
+    @staticmethod
+    def diff(before: dict[str, int],
+             after: dict[str, int]) -> dict[str, int]:
+        """Per-name delta of two snapshots (names present in either)."""
+        names = sorted(set(before) | set(after))
+        return {name: after.get(name, 0) - before.get(name, 0)
+                for name in names
+                if after.get(name, 0) != before.get(name, 0)}
+
+    def export_text(self) -> str:
+        """Canonical ``name value`` lines, one metric per line."""
+        lines = [f"{name} {value}"
+                 for name, value in self.snapshot().items()]
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,88 @@
+"""Scope profiler: attribute ``CycleClock`` charges to the active scope.
+
+The profiler never hooks the clock's hot ``charge`` paths (some call
+sites -- e.g. the supervisor memory port's unrolled TLB-hit fast path --
+mutate the clock's fields directly and would escape any hook). Instead
+it samples ``clock.cycles`` at scope push/pop and attributes the delta:
+
+    self_cycles(scope) = (cycles at pop - cycles at push)
+                         - cycles spent in child scopes
+
+Conservation therefore holds *by construction*::
+
+    sum(self_cycles) + unattributed == clock.cycles - origin
+
+where ``unattributed`` is whatever ran outside any scope (boot, test
+scaffolding). The determinism tests assert this sums exactly.
+"""
+
+from __future__ import annotations
+
+
+class CycleProfiler:
+    """Stack of named scopes charging simulated-cycle deltas to each."""
+
+    def __init__(self) -> None:
+        self._clock = None
+        self._origin = 0
+        # Each frame: [name, cycles_at_push, child_cycles_so_far]
+        self._stack: list[list] = []
+        self.self_cycles: dict[str, int] = {}
+        self.total_cycles: dict[str, int] = {}
+        self.calls: dict[str, int] = {}
+
+    def bind_clock(self, clock) -> None:
+        self._clock = clock
+        self._origin = clock.cycles
+
+    # -- scoping -------------------------------------------------------------
+
+    def push(self, name: str) -> None:
+        self._stack.append([name, self._clock.cycles, 0])
+
+    def pop(self) -> int:
+        """Close the innermost scope; returns its elapsed (total) cycles."""
+        name, start, child = self._stack.pop()
+        elapsed = self._clock.cycles - start
+        self.self_cycles[name] = (self.self_cycles.get(name, 0)
+                                  + elapsed - child)
+        self.total_cycles[name] = self.total_cycles.get(name, 0) + elapsed
+        self.calls[name] = self.calls.get(name, 0) + 1
+        if self._stack:
+            self._stack[-1][2] += elapsed
+        return elapsed
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    # -- accounting ----------------------------------------------------------
+
+    def attributed(self) -> int:
+        """Cycles charged while some scope was open (self-cycle sum)."""
+        return sum(self.self_cycles.values())
+
+    def observed(self) -> int:
+        """Cycles elapsed on the clock since the profiler was bound."""
+        return self._clock.cycles - self._origin
+
+    def unattributed(self) -> int:
+        """Cycles that elapsed outside every scope (boot, harness glue)."""
+        return self.observed() - self.attributed()
+
+    # -- export --------------------------------------------------------------
+
+    def table(self) -> list[tuple[str, int, int, int]]:
+        """Rows ``(scope, calls, self_cycles, total_cycles)`` sorted by
+        descending self-cycles then name (fully deterministic)."""
+        rows = [(name, self.calls[name], self.self_cycles[name],
+                 self.total_cycles[name]) for name in self.self_cycles]
+        rows.sort(key=lambda row: (-row[2], row[0]))
+        return rows
+
+    def export_lines(self) -> list[str]:
+        lines = [f"{name} calls={calls} self={self_c} total={total_c}"
+                 for name, calls, self_c, total_c in self.table()]
+        lines.append(f"[unattributed] self={self.unattributed()}")
+        lines.append(f"[observed] total={self.observed()}")
+        return lines

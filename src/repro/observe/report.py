@@ -1,0 +1,101 @@
+"""Per-mechanism attribution: group ``CycleClock`` categories the way the
+paper's evaluation decomposes Virtual Ghost's overhead.
+
+``MECHANISM_GROUPS`` partitions *every* :class:`CostModel` field into a
+named mechanism, so the per-mechanism table always sums exactly to the
+global clock total -- a coverage test asserts the partition stays total
+and disjoint whenever a cost category is added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.hardware.clock import CostModel
+
+#: Mechanism -> the clock cost categories it owns. A strict partition of
+#: CostModel's fields (tests enforce totality and disjointness).
+MECHANISM_GROUPS: dict[str, tuple[str, ...]] = {
+    # Paper Section 8: where Virtual Ghost's overhead goes.
+    "sandboxing": ("mask_check", "mask_check_bulk"),
+    "cfi": ("cfi_check", "cfi_label"),
+    "secure_ic": ("ic_save_sva", "ic_restore_sva", "reg_scrub",
+                  "sva_dispatch"),
+    "mmu_checks": ("mmu_check",),
+    "crypto": ("aes_block", "sha_block", "rsa_op"),
+    # Baseline machine work every configuration pays.
+    "compute": ("instr", "mem_access", "call", "ret", "indirect_call"),
+    "trap_base": ("trap_entry", "trap_exit", "ic_save_kernel",
+                  "ic_restore_kernel", "context_switch"),
+    "mmu_base": ("tlb_hit", "ptw", "tlb_flush", "mmu_update"),
+    "bulk_copy": ("copy_per_word", "copy_call", "zero_page"),
+    "devices": ("pio", "disk_seek", "disk_per_sector", "nic_per_packet",
+                "nic_per_byte", "interrupt_delivery"),
+    # InkTag-style comparison model (only charged in hypervisor mode).
+    "hypervisor_model": ("hv_exit", "hv_shadow_page"),
+}
+
+#: Display order: VG mechanisms first, then the baseline buckets.
+MECHANISM_ORDER: tuple[str, ...] = tuple(MECHANISM_GROUPS)
+
+
+def check_partition() -> None:
+    """Raise if MECHANISM_GROUPS is not a partition of CostModel fields."""
+    cost_fields = {f.name for f in fields(CostModel)}
+    seen: set[str] = set()
+    for mechanism, kinds in MECHANISM_GROUPS.items():
+        for kind in kinds:
+            if kind not in cost_fields:
+                raise ValueError(f"mechanism {mechanism!r} references "
+                                 f"unknown cost category {kind!r}")
+            if kind in seen:
+                raise ValueError(f"cost category {kind!r} appears in more "
+                                 f"than one mechanism group")
+            seen.add(kind)
+    missing = cost_fields - seen
+    if missing:
+        raise ValueError("cost categories not assigned to any mechanism: "
+                         + ", ".join(sorted(missing)))
+
+
+def mechanism_breakdown(clock) -> dict[str, dict[str, int]]:
+    """Group ``clock.cycles_by_kind`` / ``clock.counters`` by mechanism.
+
+    Returns ``{mechanism: {"cycles": c, "events": n}}`` for every
+    mechanism (zeros included so reports are shape-stable across runs).
+    The cycle column sums exactly to ``clock.cycles`` because the groups
+    partition the cost categories and the clock maintains
+    ``sum(cycles_by_kind.values()) == cycles`` on every charge path.
+    """
+    by_kind = clock.cycles_by_kind
+    counters = clock.counters
+    out: dict[str, dict[str, int]] = {}
+    for mechanism in MECHANISM_ORDER:
+        kinds = MECHANISM_GROUPS[mechanism]
+        out[mechanism] = {
+            "cycles": sum(by_kind.get(kind, 0) for kind in kinds),
+            "events": sum(counters.get(kind, 0) for kind in kinds),
+        }
+    return out
+
+
+def render_mechanism_table(clock, *, title: str = "mechanism") -> str:
+    """Fixed-width per-mechanism attribution table (deterministic text).
+
+    No wall-clock data and no floating point beyond a fixed-precision
+    percentage derived from integers, so same-seed runs render
+    byte-identical tables.
+    """
+    breakdown = mechanism_breakdown(clock)
+    total = clock.cycles
+    name_w = max(len(title), *(len(name) for name in breakdown))
+    lines = [f"{title:<{name_w}}  {'cycles':>14}  {'events':>12}  {'share':>7}",
+             "-" * (name_w + 2 + 14 + 2 + 12 + 2 + 7)]
+    for mechanism, row in breakdown.items():
+        share = (f"{row['cycles'] * 10000 // total / 100:6.2f}%"
+                 if total else "   n/a ")
+        lines.append(f"{mechanism:<{name_w}}  {row['cycles']:>14}  "
+                     f"{row['events']:>12}  {share}")
+    lines.append("-" * (name_w + 2 + 14 + 2 + 12 + 2 + 7))
+    lines.append(f"{'total':<{name_w}}  {total:>14}")
+    return "\n".join(lines)

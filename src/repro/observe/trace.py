@@ -1,0 +1,97 @@
+"""Structured trace ring: typed events stamped with simulated cycles.
+
+Events are never stamped with wall-clock time -- only the machine's
+:class:`~repro.hardware.clock.CycleClock` -- so a trace is a pure
+function of the simulated execution and two same-seed runs export
+byte-identical traces (the PR 2 determinism invariant extends to the
+observability layer).
+
+Event details are preformatted strings built exclusively from simulated
+identifiers (pids, tids, ports, addresses, byte counts). Host-side
+identities (``id()``, object reprs, hashes of host state) must never
+appear in a detail string; they would break cross-run bit-identity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import NamedTuple
+
+#: Default ring capacity (events); older events are dropped, counted.
+TRACE_CAPACITY = 65536
+
+
+class TraceEvent(NamedTuple):
+    """One trace record."""
+
+    seq: int          # global emission order (monotonic, 0-based)
+    cycles: int       # simulated cycle stamp
+    kind: str         # dotted event type, e.g. "syscall.enter"
+    detail: str       # deterministic, preformatted fields
+
+    def line(self) -> str:
+        return (f"{self.seq:08d} {self.cycles:>14d} {self.kind} "
+                f"{self.detail}").rstrip()
+
+
+class Tracer:
+    """Bounded ring of :class:`TraceEvent`, cheap enough for hot paths.
+
+    ``emit`` is only called behind ``observer.enabled`` guards, so a
+    disabled build never pays for detail-string formatting.
+    """
+
+    def __init__(self, capacity: int = TRACE_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self._clock = None
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def bind_clock(self, clock) -> None:
+        self._clock = clock
+
+    # -- recording -----------------------------------------------------------
+
+    def emit(self, kind: str, detail: str = "") -> None:
+        self._ring.append(TraceEvent(self._seq, self._clock.cycles,
+                                     kind, detail))
+        self._seq += 1
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted (including any dropped from the ring)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed out of the ring by capacity."""
+        return self._seq - len(self._ring)
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        if kind is None:
+            return list(self._ring)
+        return [event for event in self._ring if event.kind == kind]
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Event count per kind for the events still in the ring."""
+        counts: dict[str, int] = {}
+        for event in self._ring:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # -- export --------------------------------------------------------------
+
+    def export_lines(self) -> list[str]:
+        return [event.line() for event in self._ring]
+
+    def export_text(self) -> str:
+        header = (f"# trace events={self._seq} kept={len(self._ring)} "
+                  f"dropped={self.dropped}")
+        return "\n".join([header] + self.export_lines()) + "\n"
+
+    def clear(self) -> None:
+        self._ring.clear()

@@ -40,7 +40,8 @@ class System:
                costs: CostModel | None = None,
                serial: bytes = b"vg-machine-0",
                interp_limits: ExecutionLimits | None = None,
-               fault_plan: FaultPlan | None = None) -> "System":
+               fault_plan: FaultPlan | None = None,
+               observe: bool = False) -> "System":
         """Assemble and boot a system.
 
         ``interp_limits`` overrides the default
@@ -58,6 +59,12 @@ class System:
         fault injection. Injection is suspended during boot so every
         system comes up identically; the plan is armed before this
         returns.
+
+        ``observe=True`` attaches a live
+        :class:`~repro.observe.Observer` (structured trace ring + scope
+        profiler) to the machine; metrics are collected either way.
+        Observability never charges simulated cycles, so ``observe``
+        does not change ``clock.cycles`` for a given seed.
         """
         config = config or VGConfig.virtual_ghost()
         if fault_plan is None:
@@ -67,7 +74,8 @@ class System:
             disk_sectors=disk_mb * 2048,
             serial=serial,
             costs=costs,
-            faults=fault_plan))
+            faults=fault_plan,
+            observe=observe))
         machine.faults.disarm()
         try:
             kernel = Kernel(machine, config, interp_limits=interp_limits)
@@ -146,3 +154,15 @@ class System:
     @property
     def fault_log(self) -> FaultLog:
         return self.machine.faults.log
+
+    # -- observability -----------------------------------------------------------------
+
+    @property
+    def observer(self):
+        """The machine's observer (NULL_OBSERVER unless ``observe=True``)."""
+        return self.machine.observer
+
+    @property
+    def metrics(self):
+        """The machine's always-on :class:`MetricsRegistry`."""
+        return self.machine.metrics

@@ -127,8 +127,10 @@ class UserEnv:
     def sys_select(self, fds: tuple, block: int = 0):
         return (yield from self.syscall("select", tuple(fds), block))
 
-    def sys_listen(self, port: int):
-        return (yield from self.syscall("listen", port))
+    def sys_listen(self, port: int, backlog: int | None = None):
+        if backlog is None:
+            return (yield from self.syscall("listen", port))
+        return (yield from self.syscall("listen", port, backlog))
 
     def sys_accept(self, fd: int):
         return (yield from self.syscall("accept", fd))

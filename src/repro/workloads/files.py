@@ -25,6 +25,8 @@ class FileRateResult:
     deleted_per_sec: float
     create_metrics: RunMetrics
     delete_metrics: RunMetrics
+    #: the System the benchmark ran on (machine metrics, observer, clock)
+    system: object = None
 
 
 class FileChurnProgram(Program):
@@ -64,8 +66,9 @@ class FileChurnProgram(Program):
 
 
 def run_file_churn(config, *, size: int, count: int = 64,
-                   memory_mb: int = 64) -> FileRateResult:
-    system = System.create(config, memory_mb=memory_mb)
+                   memory_mb: int = 64,
+                   observe: bool = False) -> FileRateResult:
+    system = System.create(config, memory_mb=memory_mb, observe=observe)
     program = FileChurnProgram(size, count)
     system.install("/bin/churn", program)
     proc = system.spawn("/bin/churn")
@@ -87,4 +90,5 @@ def run_file_churn(config, *, size: int, count: int = 64,
         create_metrics=_metrics(program.create_cycles,
                                 program.create_counters),
         delete_metrics=_metrics(program.delete_cycles,
-                                program.delete_counters))
+                                program.delete_counters),
+        system=system)

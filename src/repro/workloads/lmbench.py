@@ -32,6 +32,8 @@ class MicroBenchResult:
     ops: int
     metrics: RunMetrics
     page_faults: int = 0
+    #: the System the probe ran on (machine metrics, observer, clock)
+    system: object = None
 
 
 class _Measured(Program):
@@ -263,14 +265,16 @@ class LMBench:
     """Runs the microbenchmark suite on a given configuration."""
 
     def __init__(self, config, *, iterations: int = 100,
-                 memory_mb: int = 128):
+                 memory_mb: int = 128, observe: bool = False):
         self.config = config
         self.iterations = iterations
         self.memory_mb = memory_mb
+        self.observe = observe
 
     def run_one(self, name: str) -> MicroBenchResult:
         bench_class = _BENCH_CLASSES[name]
-        system = System.create(self.config, memory_mb=self.memory_mb)
+        system = System.create(self.config, memory_mb=self.memory_mb,
+                               observe=self.observe)
         program = bench_class(self.iterations)
         system.install("/bin/bench", program)
         if name == "fork_exec":
@@ -286,7 +290,8 @@ class LMBench:
                                 us_per_op=cycles_to_us(elapsed) / ops,
                                 ops=ops,
                                 metrics=program.metrics(),
-                                page_faults=faults)
+                                page_faults=faults,
+                                system=system)
 
     def run(self, names=BENCH_NAMES) -> dict[str, MicroBenchResult]:
         return {name: self.run_one(name) for name in names}

@@ -34,6 +34,8 @@ class PostmarkResult:
     files_deleted: int
     bytes_read: int
     bytes_written: int
+    #: the System the benchmark ran on (machine metrics, observer, clock)
+    system: object = None
 
 
 class _Rng:
@@ -144,8 +146,9 @@ class PostmarkProgram(Program):
 
 def run_postmark(config, *, transactions: int = 600,
                  memory_mb: int = 128, disk_mb: int = 192,
-                 seed: bytes = b"0") -> PostmarkResult:
-    system = System.create(config, memory_mb=memory_mb, disk_mb=disk_mb)
+                 seed: bytes = b"0", observe: bool = False) -> PostmarkResult:
+    system = System.create(config, memory_mb=memory_mb, disk_mb=disk_mb,
+                           observe=observe)
     program = PostmarkProgram(transactions, seed=seed)
     system.install("/bin/postmark", program)
     proc = system.spawn("/bin/postmark")
@@ -160,4 +163,5 @@ def run_postmark(config, *, transactions: int = 600,
         files_created=program.files_created,
         files_deleted=program.files_deleted,
         bytes_read=program.bytes_read,
-        bytes_written=program.bytes_written)
+        bytes_written=program.bytes_written,
+        system=system)

@@ -24,6 +24,8 @@ class BandwidthPoint:
     size: int
     kb_per_sec: float
     requests: int
+    #: the System the benchmark ran on (machine metrics, observer, clock)
+    system: object = None
 
 
 def make_random_file(size: int, seed: bytes = b"webfile") -> bytes:
@@ -32,9 +34,9 @@ def make_random_file(size: int, seed: bytes = b"webfile") -> bytes:
 
 
 def run_thttpd_bandwidth(config, *, size: int, requests: int = 12,
-                         memory_mb: int = 96,
-                         concurrency: int = 100) -> BandwidthPoint:
-    system = System.create(config, memory_mb=memory_mb)
+                         memory_mb: int = 96, concurrency: int = 100,
+                         observe: bool = False) -> BandwidthPoint:
+    system = System.create(config, memory_mb=memory_mb, observe=observe)
     filename = f"/www{size}.bin"
     system.write_file(filename, make_random_file(size))
 
@@ -73,4 +75,5 @@ def run_thttpd_bandwidth(config, *, size: int, requests: int = 12,
     elapsed = cycles_to_seconds(effective)
     return BandwidthPoint(size=size,
                           kb_per_sec=total_bytes / 1024 / elapsed,
-                          requests=requests)
+                          requests=requests,
+                          system=system)

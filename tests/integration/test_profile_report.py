@@ -1,0 +1,59 @@
+"""profile_report CLI: determinism and table integrity."""
+
+import importlib.util
+import re
+import sys
+from pathlib import Path
+
+_REPORT_PATH = (Path(__file__).resolve().parents[2]
+                / "benchmarks" / "profile_report.py")
+_spec = importlib.util.spec_from_file_location("bench_profile_report",
+                                               _REPORT_PATH)
+profile_report = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_profile_report", profile_report)
+_spec.loader.exec_module(profile_report)
+
+# tiny parameters keep the three required workloads inside tier-1 budget
+_ARGS = dict(iterations=3, lmbench_benches=("null_syscall",),
+             requests=2, web_size=4096, transactions=10)
+_WORKLOADS = ("lmbench", "webserver", "postmark")
+
+
+def _build():
+    return profile_report.build_report(_WORKLOADS, **_ARGS)
+
+
+def test_report_covers_required_workloads_and_is_deterministic():
+    first = _build()
+    assert first == _build()                # byte-identical same-seed runs
+    assert "== lmbench/null_syscall (virtual_ghost) ==" in first
+    assert "== webserver/4096B (virtual_ghost) ==" in first
+    assert "== postmark/10tx (virtual_ghost) ==" in first
+    # each workload rendered a mechanism table and a scope profile
+    assert first.count("sandboxing") == len(_WORKLOADS)
+    assert first.count("-- scopes --") == len(_WORKLOADS)
+    assert first.count("[observed] total=") == len(_WORKLOADS)
+
+
+def test_mechanism_tables_sum_to_totals():
+    """Within each table the mechanism cycle column sums exactly to the
+    printed clock total (the partition leaves nothing unattributed)."""
+    report = _build()
+    blocks = report.split("== ")[1:]
+    assert len(blocks) == len(_WORKLOADS)
+    for block in blocks:
+        rows = re.findall(r"^\S+ +(\d+) +\d+ +[\d. ]+%$", block,
+                          flags=re.MULTILINE)
+        total = re.search(r"^total +(\d+)$", block, flags=re.MULTILINE)
+        assert total is not None
+        assert sum(int(r) for r in rows) == int(total.group(1))
+        # profiler conservation surfaces in the scope section too
+        observed = re.search(r"\[observed\] total=(\d+)", block)
+        assert observed is not None
+        assert int(observed.group(1)) == int(total.group(1))
+
+
+def test_report_contains_no_wall_clock_artifacts():
+    report = _build()
+    for forbidden in ("wall", "seconds", "time.time", "unix_time"):
+        assert forbidden not in report

@@ -1,0 +1,264 @@
+"""Regression tests for kernel edge-case fixes.
+
+* ``write`` on a full pipe blocks (previously returned 0) and completes
+  once a reader drains.
+* ``lseek`` on pipes and sockets raises ESPIPE.
+* Listen backlogs are bounded: overflow refuses the connecting peer.
+* ``unlisten`` (or closing the listen fd) resets queued peers and wakes
+  blocked accepters instead of leaking half-open connections.
+"""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.kernel.pipe import PIPE_CAPACITY
+from repro.kernel.syscalls.table import ERRNO
+
+from tests.conftest import ScriptProgram, run_script
+
+
+class _QuietPeer:
+    def __init__(self):
+        self.connected = False
+        self.closed = False
+
+    def on_connect(self, conn):
+        self.connected = True
+
+    def on_data(self, conn, data):
+        pass
+
+    def on_close(self, conn):
+        self.closed = True
+
+
+# ----------------------------------------------------------------------
+# pipe write blocking
+# ----------------------------------------------------------------------
+
+def test_pipe_write_blocks_until_reader_drains(native_system):
+    order = []
+
+    def parent(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        read_fd, write_fd = yield from env.sys_pipe()
+        program.read_fd = read_fd
+        buf = heap.store(b"w" * 4096)
+        child = yield from env.sys_fork()
+        total = 0
+        while total < PIPE_CAPACITY:
+            put = yield from env.sys_write(write_fd, buf, 4096)
+            assert put > 0
+            total += put
+        order.append("full")
+        put = yield from env.sys_write(write_fd, buf, 100)
+        order.append("wrote-extra")
+        program.extra = put
+        yield from env.sys_wait4(child)
+        return 0
+
+    def child(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        out = heap.malloc(4096)
+        for _ in range(4):
+            yield from env.sys_sched_yield()
+        order.append("draining")
+        program.drained = yield from env.sys_read(program.read_fd, out,
+                                                  4096)
+        yield from env.sys_exit(0)
+
+    program = ScriptProgram(parent, child)
+    native_system.install("/bin/pipefill", program)
+    proc = native_system.spawn("/bin/pipefill")
+    native_system.run_until_exit(proc, max_slices=1_000_000)
+
+    # the write on the full pipe parked until the reader made space --
+    # before the fix it returned 0 immediately ("wrote-extra" would
+    # precede "draining")
+    assert order.index("draining") < order.index("wrote-extra")
+    assert program.extra == 100
+    assert program.drained == 4096
+
+
+def test_pipe_write_without_reader_still_epipe(native_system):
+    def body(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        buf = heap.store(b"z" * 8)
+        read_fd, write_fd = yield from env.sys_pipe()
+        yield from env.sys_close(read_fd)
+        program.result = yield from env.sys_write(write_fd, buf, 8)
+        return 0
+
+    _, program = run_script(native_system, body)
+    assert program.result == -ERRNO["EPIPE"]
+
+
+# ----------------------------------------------------------------------
+# lseek on non-seekable vnodes
+# ----------------------------------------------------------------------
+
+def test_lseek_on_pipe_espipe_all_whences(any_system):
+    def body(env, program):
+        read_fd, write_fd = yield from env.sys_pipe()
+        results = []
+        for fd in (read_fd, write_fd):
+            for whence in (0, 1, 2):        # SEEK_SET / CUR / END
+                results.append(
+                    (yield from env.sys_lseek(fd, 0, whence)))
+        program.result = results
+        return 0
+
+    _, program = run_script(any_system, body)
+    assert program.result == [-ERRNO["ESPIPE"]] * 6
+
+
+def test_lseek_on_socket_espipe(native_system):
+    def body(env, program):
+        listen_fd = yield from env.sys_listen(7410)
+        conn_fd = yield from env.sys_connect("localhost", 7410)
+        program.result = yield from env.sys_lseek(conn_fd, 0, 0)
+        yield from env.sys_close(conn_fd)
+        yield from env.sys_close(listen_fd)
+        return 0
+
+    _, program = run_script(native_system, body)
+    assert program.result == -ERRNO["ESPIPE"]
+
+
+def test_lseek_on_regular_file_still_seeks(native_system):
+    from repro.userland.libc import O_CREAT, O_WRONLY
+
+    def body(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        buf = heap.store(b"abcdef")
+        fd = yield from env.sys_open("/seek.dat", O_WRONLY | O_CREAT)
+        yield from env.sys_write(fd, buf, 6)
+        program.result = yield from env.sys_lseek(fd, 2, 0)
+        yield from env.sys_close(fd)
+        return 0
+
+    _, program = run_script(native_system, body)
+    assert program.result == 2
+
+
+# ----------------------------------------------------------------------
+# listen backlog bounds
+# ----------------------------------------------------------------------
+
+def test_remote_connect_refused_when_backlog_full(native_system):
+    def body(env, program):
+        yield from env.sys_listen(7420, 2)
+        program.listening = True
+        while not getattr(program, "release", False):
+            yield from env.sys_sched_yield()
+        return 0
+
+    program = ScriptProgram(body)
+    native_system.install("/bin/srv", program)
+    proc = native_system.spawn("/bin/srv")
+    native_system.run(until=lambda: getattr(program, "listening", False),
+                      max_slices=10_000)
+    assert program.listening
+
+    net = native_system.kernel.net
+    peers = [_QuietPeer() for _ in range(3)]
+    net.remote_connect(7420, peers[0])
+    net.remote_connect(7420, peers[1])
+    with pytest.raises(SyscallError) as excinfo:
+        net.remote_connect(7420, peers[2])
+    assert excinfo.value.errno == "ECONNREFUSED"
+    assert peers[0].connected and peers[1].connected
+    assert not peers[2].connected
+    assert net.stats["backlog_overflow"] == 1
+    assert native_system.metrics.snapshot()["net.backlog_overflow"] == 1
+
+    program.release = True
+    native_system.run_until_exit(proc)
+
+
+def test_local_connect_refused_when_backlog_full(native_system):
+    def body(env, program):
+        yield from env.sys_listen(7430, 1)
+        first = yield from env.sys_connect("localhost", 7430)
+        second = yield from env.sys_connect("localhost", 7430)
+        program.result = (first, second)
+        return 0
+
+    _, program = run_script(native_system, body)
+    first, second = program.result
+    assert first >= 0
+    assert second == -ERRNO["ECONNREFUSED"]
+    assert native_system.kernel.net.stats["backlog_overflow"] == 1
+
+
+def test_listen_rejects_nonpositive_backlog(native_system):
+    def body(env, program):
+        program.result = yield from env.sys_listen(7440, 0)
+        return 0
+
+    _, program = run_script(native_system, body)
+    assert program.result == -ERRNO["EINVAL"]
+
+
+# ----------------------------------------------------------------------
+# unlisten teardown
+# ----------------------------------------------------------------------
+
+def test_close_of_listen_fd_resets_queued_peers(native_system):
+    def body(env, program):
+        listen_fd = yield from env.sys_listen(7450)
+        program.listening = True
+        while not getattr(program, "release", False):
+            yield from env.sys_sched_yield()
+        yield from env.sys_close(listen_fd)
+        program.closed = True
+        return 0
+
+    program = ScriptProgram(body)
+    native_system.install("/bin/srv2", program)
+    proc = native_system.spawn("/bin/srv2")
+    native_system.run(until=lambda: getattr(program, "listening", False),
+                      max_slices=10_000)
+    assert program.listening
+
+    net = native_system.kernel.net
+    peers = [_QuietPeer(), _QuietPeer()]
+    for peer in peers:
+        net.remote_connect(7450, peer)
+    assert all(peer.connected for peer in peers)
+    assert not any(peer.closed for peer in peers)
+
+    program.release = True
+    native_system.run_until_exit(proc, max_slices=10_000)
+    assert getattr(program, "closed", False)
+    # queued-but-never-accepted peers observed a reset, and the event
+    # was counted -- before the fix they leaked half-open forever
+    assert all(peer.closed for peer in peers)
+    assert net.stats["listener_reset"] == 2
+    assert native_system.metrics.snapshot()["net.listener_reset"] == 2
+    # the port is free again
+    def rebind(env, program):
+        program.result = yield from env.sys_listen(7450)
+        return 0
+    _, rebound = run_script(native_system, rebind, path="/bin/rebind")
+    assert rebound.result >= 0
+
+
+def test_unlisten_wakes_blocked_accepter(native_system):
+    def body(env, program):
+        listen_fd = yield from env.sys_listen(7460)
+        program.listening = True
+        program.result = yield from env.sys_accept(listen_fd)
+        return 0
+
+    program = ScriptProgram(body)
+    native_system.install("/bin/srv3", program)
+    proc = native_system.spawn("/bin/srv3")
+    native_system.run(max_slices=10_000)       # parks in accept
+    assert program.listening
+    assert program.result is None
+
+    native_system.kernel.net.unlisten(7460)
+    native_system.run_until_exit(proc)
+    # the restarted accept fails cleanly instead of sleeping forever
+    assert program.result == -ERRNO["EINVAL"]

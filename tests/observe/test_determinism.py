@@ -1,0 +1,141 @@
+"""System-level observability invariants.
+
+* Two same-seed runs -- with or without a fault plan armed -- export
+  byte-identical trace/metrics/profile reports.
+* Observability never charges simulated cycles: observe on/off gives
+  identical ``clock.cycles``.
+* Cycle attribution conserves: per-scope self-cycles plus the
+  unattributed remainder equal the global clock total exactly.
+"""
+
+from repro.core.config import VGConfig
+from repro.errors import SecurityViolation, SyscallError
+from repro.faults import soak_plan
+from repro.observe import (check_partition, mechanism_breakdown,
+                           observe_report)
+from repro.system import System
+from repro.userland.libc import O_CREAT, O_RDONLY, O_WRONLY
+
+from tests.conftest import ScriptProgram
+
+_DEFINED = (SyscallError, SecurityViolation)
+
+
+def _body(env, program):
+    """A mixed workload: files, a pipe, fork, net loopback."""
+    heap = env.malloc_init(use_ghost=False)
+    buf = heap.store(b"x" * 512)
+    out = heap.malloc(512)
+    for i in range(4):
+        fd = yield from env.sys_open(f"/d{i}.dat", O_WRONLY | O_CREAT)
+        if fd < 0:
+            continue
+        yield from env.sys_write(fd, buf, 512)
+        yield from env.sys_close(fd)
+    read_fd, write_fd = yield from env.sys_pipe()
+    yield from env.sys_write(write_fd, buf, 64)
+    yield from env.sys_read(read_fd, out, 64)
+    yield from env.sys_close(read_fd)
+    yield from env.sys_close(write_fd)
+    child = yield from env.sys_fork()
+    if child > 0:
+        yield from env.sys_wait4(child)
+    listen_fd = yield from env.sys_listen(7900)
+    conn_fd = yield from env.sys_connect("localhost", 7900)
+    if conn_fd >= 0:
+        yield from env.sys_close(conn_fd)
+    yield from env.sys_close(listen_fd)
+    for i in range(4):
+        fd = yield from env.sys_open(f"/d{i}.dat", O_RDONLY)
+        if fd < 0:
+            continue
+        yield from env.sys_read(fd, out, 512)
+        yield from env.sys_close(fd)
+    return 0
+
+
+def _child_body(env, program):
+    yield from env.sys_exit(0)
+
+
+def _run(*, observe: bool, fault_seed=None):
+    plan = (soak_plan(fault_seed, rate=0.02)
+            if fault_seed is not None else None)
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=32,
+                           disk_mb=32, fault_plan=plan, observe=observe)
+    program = ScriptProgram(_body, _child_body)
+    try:
+        system.install("/bin/mix", program)
+        proc = system.spawn("/bin/mix")
+        system.run_until_exit(proc, max_slices=2_000_000)
+    except _DEFINED:
+        pass                    # injected fault killed the run: still
+                                # a deterministic outcome to export
+    return system
+
+
+def _exports(system) -> str:
+    return (observe_report(system, title="det")
+            + system.metrics.export_text())
+
+
+def test_same_seed_runs_export_identically():
+    assert _exports(_run(observe=True)) == _exports(_run(observe=True))
+
+
+def test_same_seed_runs_with_faults_export_identically():
+    first = _run(observe=True, fault_seed="obs-det")
+    second = _run(observe=True, fault_seed="obs-det")
+    assert _exports(first) == _exports(second)
+    # and the fault plan actually consulted sites (the runs were armed)
+    assert first.fault_plan.log is not None
+
+
+def test_observe_never_charges_simulated_cycles():
+    on = _run(observe=True)
+    off = _run(observe=False)
+    assert on.machine.clock.cycles == off.machine.clock.cycles
+    assert on.machine.clock.cycles_by_kind == off.machine.clock.cycles_by_kind
+
+
+def test_cycle_attribution_conserves_exactly():
+    system = _run(observe=True)
+    clock = system.machine.clock
+    profiler = system.observer.profiler
+    assert profiler.depth == 0                  # every scope was popped
+    assert profiler.observed() == clock.cycles  # bound before any charge
+    assert profiler.attributed() + profiler.unattributed() == clock.cycles
+    # the profiler saw real work in the instrumented subsystems
+    assert any(name.startswith("syscall:") for name in profiler.self_cycles)
+    assert any(name.startswith("device:") for name in profiler.self_cycles)
+
+
+def test_mechanism_partition_sums_to_clock_total():
+    check_partition()
+    system = _run(observe=False)
+    clock = system.machine.clock
+    breakdown = mechanism_breakdown(clock)
+    assert sum(row["cycles"] for row in breakdown.values()) == clock.cycles
+    assert sum(row["events"] for row in breakdown.values()) \
+        == sum(clock.counters.values())
+
+
+def test_trace_details_free_of_host_identities():
+    """No trace detail may embed id()-like host values.
+
+    Simulated addresses are rendered in hex (``0x...``); every *decimal*
+    integer in a detail must be small (pids, fds, ports, byte counts).
+    An accidentally interpolated CPython ``id()`` renders as a huge
+    decimal and would break cross-run bit-identity."""
+    system = _run(observe=True)
+    for event in system.observer.tracer.events():
+        for token in event.detail.split():
+            _, _, value = token.partition("=")
+            if not value or value.startswith("0x"):
+                continue
+            try:
+                number = int(value)
+            except ValueError:
+                continue
+            assert number < (1 << 32), (
+                f"suspicious host-sized value in trace: {event.line()}")

@@ -1,0 +1,72 @@
+"""Metrics registry: counters, histograms, gauges, snapshot/diff/export."""
+
+import pytest
+
+from repro.observe import MetricsRegistry
+
+
+def test_counter_create_or_get_and_inc():
+    registry = MetricsRegistry()
+    c1 = registry.counter("net.drops")
+    c2 = registry.counter("net.drops")
+    assert c1 is c2
+    c1.inc()
+    c1.inc(4)
+    assert registry.snapshot() == {"net.drops": 5}
+
+
+def test_histogram_buckets_and_flatten():
+    registry = MetricsRegistry()
+    h = registry.histogram("io.size")
+    for value in (0, 1, 5, 5, 300):
+        h.observe(value)
+    flat = h.flatten()
+    assert flat["io.size.count"] == 5
+    assert flat["io.size.sum"] == 311
+    assert flat["io.size.min"] == 0
+    assert flat["io.size.max"] == 300
+    assert flat["io.size.le_0"] == 1          # the zero
+    assert flat["io.size.le_1"] == 1          # 1
+    assert flat["io.size.le_7"] == 2          # the fives
+    assert flat["io.size.le_511"] == 1        # 300
+    with pytest.raises(ValueError):
+        h.observe(-1)
+
+
+def test_name_collisions_rejected():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.histogram("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x", lambda: 0)
+    registry.gauge("g", lambda: 1)
+    with pytest.raises(ValueError):
+        registry.counter("g")
+
+
+def test_gauge_reregistration_replaces():
+    registry = MetricsRegistry()
+    registry.gauge("depth", lambda: 3)
+    assert registry.snapshot() == {"depth": 3}
+    registry.gauge("depth", lambda: 9)        # a rebuilt component rebinds
+    assert registry.snapshot() == {"depth": 9}
+
+
+def test_snapshot_sorted_and_diff():
+    registry = MetricsRegistry()
+    registry.counter("b").inc(2)
+    registry.counter("a").inc(1)
+    before = registry.snapshot()
+    assert list(before) == ["a", "b"]
+    registry.counter("b").inc(3)
+    after = registry.snapshot()
+    assert MetricsRegistry.diff(before, after) == {"b": 3}
+
+
+def test_export_text_canonical():
+    registry = MetricsRegistry()
+    registry.counter("z").inc(7)
+    registry.gauge("a", lambda: 2)
+    assert registry.export_text() == "a 2\nz 7\n"
+    assert MetricsRegistry().export_text() == ""

@@ -1,0 +1,90 @@
+"""Tracer ring and cycle profiler unit behavior (fake clock)."""
+
+import pytest
+
+from repro.observe import CycleProfiler, Tracer
+
+
+class _Clock:
+    def __init__(self):
+        self.cycles = 0
+
+
+def test_tracer_ring_drops_oldest_and_counts():
+    clock = _Clock()
+    tracer = Tracer(capacity=4)
+    tracer.bind_clock(clock)
+    for i in range(6):
+        clock.cycles += 10
+        tracer.emit("tick", f"i={i}")
+    assert tracer.emitted == 6
+    assert tracer.dropped == 2
+    events = tracer.events()
+    assert [e.seq for e in events] == [2, 3, 4, 5]
+    assert events[0].cycles == 30
+    assert events[-1].detail == "i=5"
+    assert tracer.counts_by_kind() == {"tick": 4}
+
+
+def test_tracer_export_format():
+    clock = _Clock()
+    tracer = Tracer(capacity=8)
+    tracer.bind_clock(clock)
+    clock.cycles = 1234
+    tracer.emit("syscall.enter", "pid=1 name=getpid")
+    tracer.emit("bare")
+    text = tracer.export_text()
+    lines = text.splitlines()
+    assert lines[0] == "# trace events=2 kept=2 dropped=0"
+    assert lines[1].endswith("syscall.enter pid=1 name=getpid")
+    assert lines[2].endswith(" bare")          # empty detail is stripped
+    tracer.clear()
+    assert tracer.events() == []
+    assert tracer.emitted == 2                 # emission count survives
+
+
+def test_tracer_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_profiler_nested_attribution():
+    clock = _Clock()
+    profiler = CycleProfiler()
+    profiler.bind_clock(clock)
+    clock.cycles += 5                  # outside any scope
+    profiler.push("outer")
+    clock.cycles += 10
+    profiler.push("inner")
+    clock.cycles += 20
+    assert profiler.depth == 2
+    profiler.pop()                     # inner: self 20
+    clock.cycles += 7
+    profiler.pop()                     # outer: self 10 + 7, child 20
+    clock.cycles += 3                  # outside again
+
+    assert profiler.self_cycles == {"outer": 17, "inner": 20}
+    assert profiler.total_cycles == {"outer": 37, "inner": 20}
+    assert profiler.calls == {"outer": 1, "inner": 1}
+    assert profiler.attributed() == 37
+    assert profiler.observed() == 45
+    assert profiler.unattributed() == 8
+    # conservation by construction
+    assert profiler.attributed() + profiler.unattributed() \
+        == profiler.observed()
+
+
+def test_profiler_table_and_export_deterministic():
+    clock = _Clock()
+    profiler = CycleProfiler()
+    profiler.bind_clock(clock)
+    for name, cost in (("b", 5), ("a", 5), ("c", 9)):
+        profiler.push(name)
+        clock.cycles += cost
+        profiler.pop()
+    rows = profiler.table()
+    # descending self-cycles, ties broken by name
+    assert [row[0] for row in rows] == ["c", "a", "b"]
+    lines = profiler.export_lines()
+    assert lines[-2] == "[unattributed] self=0"
+    assert lines[-1] == "[observed] total=19"
