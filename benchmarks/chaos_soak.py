@@ -1,0 +1,281 @@
+"""Chaos soak: the resilience layer's headline gate.
+
+Boots one system with BOTH a seed-driven fault plan (every injection
+site armed) and the resilience layer (driver retries, reliable socket
+transport, socket timeouts, process supervisor), then drives it through
+a hostile day in production:
+
+* a supervised thttpd serves verified-digest transfers over the lossy
+  NIC, survives a dead (slowloris) client via its receive timeout, is
+  killed with status 139 and relaunched by the supervisor, and keeps
+  serving bit-exact bodies afterwards;
+* Postmark runs to completion in the same system over the faulty disk;
+* every fully-acknowledged file write reads back bit-exact;
+* ghost memory keeps its secrecy/integrity guarantees under swap.
+
+The gate: **zero** invariant violations (data loss or corruption is a
+violation, not an outcome), the workloads complete, and the report --
+cycles included -- is a pure function of ``(seed, rate)``, which CI
+checks by diffing two same-seed runs. ``main`` additionally bounds the
+simulated-cycle overhead of the faulted run against a clean run of the
+same workload (``--max-overhead``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_soak.py --seed chaos-1 \
+        --rate 0.02 --out /tmp/chaos.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+
+from repro.core.config import VGConfig
+from repro.errors import SyscallError
+from repro.faults import soak_plan
+from repro.resilience import ResilienceConfig
+from repro.system import System
+from repro.userland.apps.thttpd import HTTP_PORT, HttpClient, ThttpdServer
+from repro.workloads.postmark import PostmarkProgram
+
+try:
+    from benchmarks import fault_soak, faultcli
+except ImportError:              # run as a bare script
+    import fault_soak
+    import faultcli
+
+DEFINED_FAILURES = fault_soak.DEFINED_FAILURES
+
+#: Dead clients stall a server read for at most this many cycles.
+RECV_TIMEOUT_CYCLES = 5_000_000
+
+WEB_FILE = "/chaos.bin"
+WEB_SIZE = 24_000
+
+
+class _DeadClient:
+    """A peer that connects and never speaks (slowloris)."""
+
+    def __init__(self):
+        self.closed = False
+
+    def on_connect(self, conn) -> None:
+        pass
+
+    def on_data(self, conn, data: bytes) -> None:
+        pass
+
+    def on_close(self, conn) -> None:
+        self.closed = True
+
+
+def _connect_with_retry(system: System, peer, *, attempts: int = 10,
+                        slices: int = 200_000):
+    """remote_connect, absorbing ECONNREFUSED while a restarted server
+    is still coming back up (runs the system between attempts)."""
+    for attempt in range(attempts):
+        try:
+            system.kernel.net.remote_connect(HTTP_PORT, peer)
+            return attempt
+        except SyscallError:
+            system.run(max_slices=slices)
+    return None
+
+
+def _get(system: System, outcomes, violations, label: str,
+         expected_digest: str) -> bool:
+    client = HttpClient(WEB_FILE)
+    attempt = _connect_with_retry(system, client)
+    if attempt is None:
+        outcomes.append([label, "connect-failed"])
+        return False
+    system.run(until=lambda: client.done, max_slices=4_000_000)
+    ok = client.done and client.bytes_received == WEB_SIZE
+    if ok and client.body_sha256 != expected_digest:
+        violations.append(f"{label}: served body digest differs "
+                          f"from the file's contents")
+        ok = False
+    outcomes.append([label, int(ok), client.bytes_received, attempt])
+    return ok
+
+
+def _phase_web(system: System, report: dict) -> None:
+    """Supervised thttpd: verified transfers, dead client, kill+restart."""
+    outcomes = []
+    violations = report["invariant_violations"]
+    payload = fault_soak._payload(7, WEB_SIZE)
+    expected = hashlib.sha256(payload).hexdigest()
+    try:
+        system.write_file(WEB_FILE, payload)
+    except DEFINED_FAILURES as exc:
+        report["outcomes"].append(
+            ["web", [["provision", fault_soak._errname(exc)]]])
+        return
+
+    server = ThttpdServer()
+    system.install("/bin/thttpd", server)
+    service_proc = system.supervisor.supervise("/bin/thttpd")
+    system.run(max_slices=300_000)
+    outcomes.append(["started", int(server.running)])
+
+    completed = 0
+    for i in range(3):
+        completed += _get(system, outcomes, violations, f"get{i}",
+                          expected)
+
+    # slowloris: a client that never sends a request; the server's
+    # receive timeout must unwedge it without dropping the listener
+    dead = _DeadClient()
+    if _connect_with_retry(system, dead) is not None:
+        system.run(max_slices=2_000_000)
+        outcomes.append(["dead-client-closed", int(dead.closed)])
+        completed += _get(system, outcomes, violations, "get-after-dead",
+                          expected)
+
+    # fault-induced kill (status 139): the supervisor must relaunch
+    service = system.supervisor.services[0]
+    pid = system.supervisor.current_pid(service)
+    if pid is not None and pid in system.kernel.processes:
+        system.kernel.terminate_process(system.kernel.processes[pid], 139)
+        system.run(max_slices=300_000)
+        outcomes.append(["killed", pid, "restarts", service.restarts])
+        for i in range(3):
+            completed += _get(system, outcomes, violations,
+                              f"get-after-kill{i}", expected)
+
+    stop = HttpClient("/__shutdown__")
+    if _connect_with_retry(system, stop) is not None:
+        system.run(max_slices=1_000_000)
+    outcomes.append(["served", server.requests_served])
+    report["web_completed"] = completed
+    if completed < 7:
+        violations.append(
+            f"web: only {completed}/7 transfers completed under the "
+            f"fault plan (resilient transport lost data)")
+    report["outcomes"].append(["web", outcomes])
+    del service_proc
+
+
+def _phase_postmark(system: System, report: dict) -> None:
+    """Postmark to completion, in-system, over the faulty disk."""
+    program = PostmarkProgram(120, seed=b"chaos")
+    try:
+        system.install("/bin/postmark", program)
+        proc = system.spawn("/bin/postmark")
+    except DEFINED_FAILURES as exc:
+        report["outcomes"].append(
+            ["postmark", [["spawn", fault_soak._errname(exc)]]])
+        report["invariant_violations"].append(
+            "postmark: could not be started under the fault plan")
+        return
+    status = system.run_until_exit(proc, max_slices=8_000_000)
+    report["outcomes"].append(
+        ["postmark", [["status", status],
+                      ["created", program.files_created],
+                      ["deleted", program.files_deleted],
+                      ["read", program.bytes_read],
+                      ["written", program.bytes_written]]])
+    if status != 0:
+        report["invariant_violations"].append(
+            f"postmark: exited {status} instead of completing")
+
+
+#: file-integrity and ghost-memory phases are shared with the fault
+#: soak: acknowledged writes must read back exact; ghost pages must
+#: stay secret and intact (or fail closed) across swap.
+PHASES = (_phase_web, _phase_postmark, fault_soak._phase_files,
+          fault_soak._phase_ghost_swap)
+
+
+def run_chaos(seed, *, rate: float | None = 0.02, resilience=True,
+              memory_mb: int = 64, disk_mb: int = 64,
+              sites=None) -> dict:
+    """One chaos run; the report is a pure function of the arguments.
+
+    ``rate=None`` runs the identical workload with no fault plan (the
+    clean control for the overhead bound).
+    """
+    plan = None if rate is None else soak_plan(seed, rate=rate,
+                                               sites=sites)
+    if resilience is True:
+        resilience = ResilienceConfig(
+            recv_timeout_cycles=RECV_TIMEOUT_CYCLES)
+    system = System.create(VGConfig.virtual_ghost(), memory_mb=memory_mb,
+                           disk_mb=disk_mb, fault_plan=plan,
+                           resilience=resilience)
+    report: dict = {
+        "seed": str(seed),
+        "rate": rate,
+        "resilience": bool(system.resilience.enabled),
+        "outcomes": [],
+        "invariant_violations": [],
+    }
+    if plan is None:
+        plan = system.fault_plan
+    for phase in PHASES:
+        try:
+            phase(system, report)
+        except DEFINED_FAILURES as exc:
+            report["outcomes"].append(
+                [phase.__name__.removeprefix("_phase_"),
+                 [["aborted", fault_soak._errname(exc)]]])
+            report["invariant_violations"].append(
+                f"{phase.__name__}: aborted by "
+                f"{fault_soak._errname(exc)} escaping the workload")
+
+    report["cycles"] = system.cycles
+    report["fault_counts"] = plan.log.counts()
+    report["fault_log"] = plan.log.to_lines()
+    report["resilience_counters"] = system.resilience.snapshot()
+    report["net_stats"] = system.kernel.net.stats
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    faultcli.add_fault_args(parser, seed_default="chaos-0")
+    faultcli.add_resilience_arg(parser, default=True)
+    parser.add_argument("--max-overhead", type=float, default=4.0,
+                        help="gate: faulted/clean simulated-cycle bound")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here instead of "
+                             "stdout")
+    args = parser.parse_args()
+    sites = faultcli.sites_from_args(args)
+    resilience = (ResilienceConfig(
+        recv_timeout_cycles=RECV_TIMEOUT_CYCLES)
+        if args.resilience else False)
+    report = run_chaos(args.seed, rate=args.rate, sites=sites,
+                       resilience=resilience)
+    clean = run_chaos(args.seed, rate=None, resilience=resilience)
+    overhead = (report["cycles"] / clean["cycles"]
+                if clean["cycles"] else float("inf"))
+    report["clean_cycles"] = clean["cycles"]
+    report["overhead"] = round(overhead, 4)
+    gate_failures = list(report["invariant_violations"])
+    gate_failures += clean["invariant_violations"]
+    if overhead > args.max_overhead:
+        gate_failures.append(
+            f"overhead {overhead:.2f}x exceeds the "
+            f"{args.max_overhead:.2f}x bound")
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"chaos soak seed={args.seed} rate={args.rate} "
+              f"resilience={int(bool(args.resilience))}: "
+              f"overhead {overhead:.2f}x, "
+              f"{len(report['fault_log'])} fault log lines, "
+              f"{len(gate_failures)} gate failures -> {args.out}")
+    else:
+        print(text)
+    if gate_failures:
+        for line in gate_failures:
+            print(f"GATE FAILURE: {line}")
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,11 @@ from repro.system import System
 from repro.userland.apps.thttpd import HTTP_PORT, HttpClient, ThttpdServer
 from repro.userland.libc import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
 
+try:
+    from benchmarks import faultcli
+except ImportError:              # run as a bare script
+    import faultcli
+
 #: the only exception types allowed to cross the kernel boundary
 DEFINED_FAILURES = (SyscallError, SecurityViolation)
 
@@ -338,7 +343,8 @@ def _errname(exc: Exception) -> str:
 
 
 def run_soak(seed, *, rate: float = 0.02, memory_mb: int = 16,
-             disk_mb: int = 16) -> dict:
+             disk_mb: int = 16, resilience=False,
+             sites=None) -> dict:
     """One soak run; the returned report is a pure function of the args.
 
     Defined failures (``SyscallError``, ``SecurityViolation``) are
@@ -348,19 +354,25 @@ def run_soak(seed, *, rate: float = 0.02, memory_mb: int = 16,
 
     ``rate=None`` runs the identical workload with *no* fault plan at
     all (the machine's inert plan), for bit-identity comparisons
-    against a rate-0 armed plan.
+    against a rate-0 armed plan. ``resilience`` (bool or a
+    :class:`~repro.resilience.ResilienceConfig`) additionally arms the
+    recovery layer, so most injected transients surface as retry
+    counters instead of errnos.
     """
-    plan = None if rate is None else soak_plan(seed, rate=rate)
+    plan = None if rate is None else soak_plan(seed, rate=rate,
+                                               sites=sites)
     system = System.create(VGConfig.virtual_ghost(), memory_mb=memory_mb,
-                           disk_mb=disk_mb, fault_plan=plan)
-    if plan is None:
-        plan = system.fault_plan
+                           disk_mb=disk_mb, fault_plan=plan,
+                           resilience=resilience)
     report: dict = {
         "seed": str(seed),
         "rate": rate,
+        "resilience": bool(system.resilience.enabled),
         "outcomes": [],
         "invariant_violations": [],
     }
+    if plan is None:
+        plan = system.fault_plan
     for phase in PHASES:
         try:
             phase(system, report)
@@ -389,22 +401,26 @@ def run_soak(seed, *, rate: float = 0.02, memory_mb: int = 16,
         },
         "close_failures": kernel.close_failures,
     }
+    report["resilience_counters"] = system.resilience.snapshot()
     return report
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--seed", default="soak-0")
-    parser.add_argument("--rate", type=float, default=0.02)
+    faultcli.add_fault_args(parser)
+    faultcli.add_resilience_arg(parser)
     parser.add_argument("--out", default=None,
                         help="write the JSON report here instead of stdout")
     args = parser.parse_args()
-    report = run_soak(args.seed, rate=args.rate)
+    report = run_soak(args.seed, rate=args.rate,
+                      sites=faultcli.sites_from_args(args),
+                      resilience=faultcli.resilience_from_args(args))
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
-        print(f"fault soak seed={args.seed} rate={args.rate}: "
+        print(f"fault soak seed={args.seed} rate={args.rate} "
+              f"resilience={int(args.resilience)}: "
               f"{len(report['fault_log'])} log lines, "
               f"{len(report['invariant_violations'])} invariant violations "
               f"-> {args.out}")

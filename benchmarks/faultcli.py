@@ -1,0 +1,81 @@
+"""Shared fault-plan / resilience CLI flags for the benchmark drivers.
+
+``fault_soak.py``, ``chaos_soak.py`` and ``runner.py`` all take the same
+deterministic fault-plan knobs (``--seed``/``--rate``/``--sites``) and
+the same ``--resilience`` toggle; this module is the single definition
+of those flags and of the translation from parsed args to a
+:class:`~repro.faults.FaultPlan` / :class:`~repro.resilience.
+ResilienceConfig` (or to the ``REPRO_*`` environment variables that
+worker processes inherit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.faults import FaultPlan, soak_plan
+from repro.resilience import ResilienceConfig
+
+
+def add_fault_args(parser: argparse.ArgumentParser, *,
+                   seed_default: str | None = "soak-0",
+                   rate_default: float | None = 0.02) -> None:
+    """Install the shared --seed/--rate/--sites fault-plan flags."""
+    parser.add_argument("--seed", default=seed_default,
+                        help="fault-plan seed (report is a pure function "
+                             "of seed+rate+sites)")
+    parser.add_argument("--rate", type=float, default=rate_default,
+                        help="per-consultation fault probability")
+    parser.add_argument("--sites", default="",
+                        help="comma-separated fault sites "
+                             "(default: every site)")
+
+
+def add_resilience_arg(parser: argparse.ArgumentParser, *,
+                       default: bool = False) -> None:
+    """Install the shared --resilience/--no-resilience toggle."""
+    parser.add_argument("--resilience",
+                        action=argparse.BooleanOptionalAction,
+                        default=default,
+                        help="enable the recovery layer (retries, "
+                             "reliable transport, supervisor)")
+
+
+def sites_from_args(args: argparse.Namespace) -> tuple[str, ...] | None:
+    sites = tuple(s.strip() for s in args.sites.split(",") if s.strip())
+    return sites or None
+
+
+def plan_from_args(args: argparse.Namespace) -> FaultPlan | None:
+    """Build the armed plan the flags describe (None when --rate is
+    omitted/None: run with no plan at all)."""
+    if args.seed is None or args.rate is None:
+        return None
+    return soak_plan(args.seed, rate=args.rate,
+                     sites=sites_from_args(args))
+
+
+def resilience_from_args(args: argparse.Namespace
+                         ) -> ResilienceConfig | bool:
+    """ResilienceConfig when --resilience was given, else False (off --
+    never defer to the environment; the flags are the interface)."""
+    return ResilienceConfig() if args.resilience else False
+
+
+def export_fault_env(args: argparse.Namespace,
+                     environ=None) -> None:
+    """Export the parsed flags as ``REPRO_*`` environment variables.
+
+    Used by drivers (``runner.py``) whose worker processes build their
+    own :class:`~repro.system.System` and pick the plan up via
+    ``plan_from_env``/``resilience_from_env``.
+    """
+    env = os.environ if environ is None else environ
+    if getattr(args, "seed", None) and getattr(args, "rate", None):
+        env["REPRO_FAULT_SEED"] = str(args.seed)
+        env["REPRO_FAULT_RATE"] = str(args.rate)
+        if args.sites:
+            env["REPRO_FAULT_SITES"] = args.sites
+    if getattr(args, "resilience", False):
+        env["REPRO_RESILIENCE"] = "1"

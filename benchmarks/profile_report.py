@@ -34,6 +34,11 @@ from repro.workloads.lmbench import LMBench
 from repro.workloads.postmark import run_postmark
 from repro.workloads.webserver import run_thttpd_bandwidth
 
+try:
+    from benchmarks import faultcli
+except ImportError:              # run as a bare script
+    import faultcli
+
 ALL_WORKLOADS = ("lmbench", "webserver", "postmark", "files")
 
 #: LMBench probes profiled by default (a syscall-, fs- and
@@ -54,10 +59,22 @@ def _make_config(name: str) -> VGConfig:
 # ----------------------------------------------------------------------
 
 def _section(title: str, system, *, trace_tail: int = 0) -> str:
-    """One workload's report block: mechanism table + scope table."""
+    """One workload's report block: mechanism table + scope table.
+
+    When the run had the resilience layer armed, a ``-- resilience --``
+    block lists its degradation counters (retries, retransmits,
+    timeouts, restarts); with the layer off the block is absent, so
+    pre-existing reports are byte-identical.
+    """
     observer = system.machine.observer
     lines = [f"== {title} ==", "",
              render_mechanism_table(system.machine.clock, title=title)]
+    engine = system.machine.resilience
+    if engine.enabled:
+        lines.append("")
+        lines.append("-- resilience --")
+        lines.extend(f"{name:<40} {value:>12}"
+                     for name, value in engine.snapshot().items())
     if observer.enabled:
         lines.append("")
         lines.append("-- scopes --")
@@ -158,7 +175,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="append the last N trace events per workload")
     parser.add_argument("--out", default=None,
                         help="write the report here instead of stdout")
+    faultcli.add_fault_args(parser, seed_default=None, rate_default=None)
+    faultcli.add_resilience_arg(parser)
     args = parser.parse_args(argv)
+    # every workload builds its System through the environment, so the
+    # shared flags reach all of them without widening each signature
+    faultcli.export_fault_env(args)
 
     workloads = tuple(w.strip() for w in args.workloads.split(",")
                       if w.strip())

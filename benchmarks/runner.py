@@ -42,6 +42,11 @@ from repro.workloads.files import FILE_SIZES, run_file_churn
 from repro.workloads.lmbench import BENCH_NAMES, LMBench
 from repro.workloads.postmark import run_postmark
 
+try:
+    from benchmarks import faultcli
+except ImportError:              # run as a bare script
+    import faultcli
+
 ALL_TABLES = ("table2", "table3", "table4", "table5")
 
 _CONFIGS = ("native", "virtual_ghost")
@@ -225,12 +230,19 @@ _OUT_NAMES = {
 def run_grid(tables: tuple[str, ...] = ALL_TABLES, *, workers: int = 0,
              iterations: int = 60, count: int = 48,
              transactions: int = 600,
-             out_dir: str | None = None) -> dict[str, dict]:
+             out_dir: str | None = None,
+             extra_meta: dict | None = None) -> dict[str, dict]:
     """Run the requested tables' grids and return (optionally write) the
     merged JSON documents, keyed by table name.
 
     ``workers=0`` picks ``min(#points, max(2, cpu_count))``; ``workers=1``
     runs in-process (no pool), which is what the tier-1 tests use.
+
+    Fault injection and resilience ride in through the ``REPRO_FAULT_*``
+    / ``REPRO_RESILIENCE`` environment (see ``faultcli.export_fault_env``)
+    -- forked workers inherit it, so every grid point sees the same
+    deterministic per-site fault streams. ``extra_meta`` is merged into
+    each document's ``meta`` section to record those knobs.
     """
     points = enumerate_points(tables, iterations=iterations, count=count,
                               transactions=transactions)
@@ -265,6 +277,7 @@ def run_grid(tables: tuple[str, ...] = ALL_TABLES, *, workers: int = 0,
                 "transactions": transactions,
                 "wall_seconds": round(wall_seconds, 3),
                 "unix_time": round(started, 3),
+                **(extra_meta or {}),
             },
             "results": results,
         }
@@ -299,6 +312,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out-dir", default="results",
                         help="directory for BENCH_*.json (default "
                              "results/)")
+    faultcli.add_fault_args(parser, seed_default=None, rate_default=None)
+    faultcli.add_resilience_arg(parser)
     args = parser.parse_args(argv)
 
     tables = tuple(t.strip() for t in args.tables.split(",") if t.strip())
@@ -306,11 +321,19 @@ def main(argv: list[str] | None = None) -> int:
         if table not in ALL_TABLES:
             parser.error(f"unknown table {table!r}")
     scale = max(1, args.scale)
+    faultcli.export_fault_env(args)
+    extra_meta = {}
+    if args.seed is not None and args.rate is not None:
+        extra_meta.update(fault_seed=args.seed, fault_rate=args.rate,
+                          fault_sites=args.sites or "all")
+    if args.resilience:
+        extra_meta["resilience"] = True
     documents = run_grid(tables, workers=args.workers,
                          iterations=args.iterations * scale,
                          count=args.count * scale,
                          transactions=args.transactions * scale,
-                         out_dir=args.out_dir)
+                         out_dir=args.out_dir,
+                         extra_meta=extra_meta)
     for name in tables:
         if name in documents:
             meta = documents[name]["meta"]

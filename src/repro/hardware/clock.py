@@ -83,6 +83,14 @@ class CostModel:
     nic_per_byte: int = 27         # gigabit wire time: 8 bits/byte at 3.4 GHz
     interrupt_delivery: int = 600
 
+    # -- resilience (charged only on fault/timeout recovery paths) ----------
+    retry_backoff: int = 1         # one unit of driver retry backoff
+    arq_timeout: int = 1           # one unit of ARQ retransmit-timer wait
+    supervisor_backoff: int = 1    # one unit of supervisor restart delay
+    timer_wait: int = 1            # idle cycles skipped to a blocking
+    #                                deadline (per cycle, so charges are
+    #                                exact simulated waiting time)
+
     # -- crypto (software AES / SHA as in the prototype) --------------------
     aes_block: int = 180           # one 16-byte AES block
     sha_block: int = 220           # one 64-byte SHA-256 block

@@ -15,6 +15,15 @@ reaches the peer exactly once -- but each fault charges the extra wire
 time the recovery costs and increments an observable counter. This keeps
 injected network faults a pure (accounted, logged) degradation: stream
 contents are never perturbed.
+
+With ``lossy=True`` (used by the network stack's ARQ mode, PR 4) the
+NIC stops absorbing ``drop`` faults itself: a dropped frame is simply
+*not delivered* (its wasted wire time is still charged) and the fault
+kind is returned to the caller, which owns retransmission. ``dup`` and
+``delay`` behave as before (delivered once, extra wire time charged)
+but are likewise reported so the transport can count them. The default
+``lossy=False`` keeps the legacy always-delivers behaviour for every
+caller that is not ARQ-aware.
 """
 
 from __future__ import annotations
@@ -56,30 +65,38 @@ class NIC:
     def attach_peer(self, peer: Endpoint) -> None:
         self.peer = peer
 
-    def send(self, payload: bytes) -> None:
-        """Transmit a payload; charges per-packet + per-byte wire time."""
+    def send(self, payload: bytes, *, lossy: bool = False) -> str | None:
+        """Transmit a payload; charges per-packet + per-byte wire time.
+
+        Returns the injected fault kind (or None). ``lossy=True`` hands
+        ``drop`` recovery to the caller: the frame is not delivered.
+        """
         obs = self.observer
         if not obs.enabled:
-            return self._send(payload)
+            return self._send(payload, lossy)
         obs.trace("nic.tx", f"{self.name} bytes={len(payload)}")
         obs.push("device:nic")
         try:
-            return self._send(payload)
+            return self._send(payload, lossy)
         finally:
             obs.pop()
 
-    def _send(self, payload: bytes) -> None:
+    def _send(self, payload: bytes, lossy: bool = False) -> str | None:
         if self.peer is None:
             raise RuntimeError(f"{self.name}: no peer attached")
         packets = max(1, -(-len(payload) // MTU))
         kind = self.faults.decide("nic.tx",
                                   f"{self.name} {len(payload)}B")
         if kind == "drop":
-            # first transmission lost on the wire: its time is wasted,
-            # the transport retransmits (charged below)
+            # transmission lost on the wire: its time is wasted
             self.tx_dropped += 1
             self.clock.charge("nic_per_packet", packets)
             self.clock.charge("nic_per_byte", len(payload))
+            if lossy:
+                # ARQ mode: the frame is gone; the transport owns
+                # retransmission (and its timer cost)
+                self.tx_bytes += len(payload)
+                return kind
         elif kind == "dup":
             # frame duplicated in flight; receiver discards the copy but
             # the wire carried it twice
@@ -94,31 +111,42 @@ class NIC:
         self.clock.charge("nic_per_byte", len(payload))
         self.tx_bytes += len(payload)
         self.peer.deliver(payload)
+        return kind
 
-    def deliver(self, payload: bytes) -> None:
-        """Called by the wire when a payload arrives for this NIC."""
+    def deliver(self, payload: bytes, *, lossy: bool = False) -> str | None:
+        """Called by the wire when a payload arrives for this NIC.
+
+        Returns the injected fault kind (or None). ``lossy=True`` hands
+        ``drop`` recovery to the caller: the frame is not enqueued.
+        """
         obs = self.observer
         if not obs.enabled:
-            return self._deliver(payload)
+            return self._deliver(payload, lossy)
         obs.trace("nic.rx", f"{self.name} bytes={len(payload)}")
         obs.push("device:nic")
         try:
-            return self._deliver(payload)
+            return self._deliver(payload, lossy)
         finally:
             obs.pop()
 
-    def _deliver(self, payload: bytes) -> None:
+    def _deliver(self, payload: bytes, lossy: bool = False) -> str | None:
         packets = max(1, -(-len(payload) // MTU))
-        if self.faults.decide("nic.rx",
-                              f"{self.name} {len(payload)}B") is not None:
+        kind = self.faults.decide("nic.rx",
+                                  f"{self.name} {len(payload)}B")
+        if kind is not None:
             # inbound frame dropped at the ring: the far end retransmits
             self.rx_dropped += 1
             self.clock.charge("nic_per_packet", packets)
             self.clock.charge("nic_per_byte", len(payload))
+            if lossy:
+                # ARQ mode: nothing reached the ring buffer; the sender's
+                # retransmit timer recovers
+                return kind
         self.clock.charge("nic_per_packet", packets)
         self.clock.charge("nic_per_byte", len(payload))
         self.rx_bytes += len(payload)
         self.rx_queue.append(payload)
+        return kind
 
     def receive(self) -> bytes | None:
         """Pop the next received payload, or None when idle."""

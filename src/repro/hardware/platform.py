@@ -22,6 +22,7 @@ from repro.hardware.mmu import MMU, PageTableEditor
 from repro.hardware.nic import NIC
 from repro.hardware.tpm import TPM
 from repro.observe import NULL_OBSERVER, MetricsRegistry, Observer
+from repro.resilience import NO_RESILIENCE, ResilienceConfig, ResilienceEngine
 
 
 @dataclass
@@ -44,6 +45,11 @@ class MachineConfig:
     #: default ``False`` shares the no-op :data:`NULL_OBSERVER` so the
     #: fast path at every instrumented site is one attribute check.
     observe: bool | Observer = False
+    #: Resilience: a :class:`~repro.resilience.ResilienceConfig` builds a
+    #: live :class:`~repro.resilience.ResilienceEngine`; the default
+    #: ``None`` shares the inert :data:`~repro.resilience.NO_RESILIENCE`
+    #: (drivers fail on first fault, exactly the pre-resilience machine).
+    resilience: ResilienceConfig | None = None
 
 
 class Machine:
@@ -66,6 +72,11 @@ class Machine:
         else:
             self.observer = NULL_OBSERVER
         self.observer.attach(self.clock, self.metrics)
+        if self.config.resilience is not None:
+            self.resilience = ResilienceEngine(self.clock,
+                                               self.config.resilience)
+        else:
+            self.resilience = NO_RESILIENCE
         self.phys = PhysicalMemory(self.config.memory_frames)
         self.cpu = CPU()
         self.mmu = MMU(self.phys, self.clock)

@@ -10,10 +10,17 @@ from __future__ import annotations
 
 
 class WouldBlock(Exception):
-    """Raised by syscall handlers to park the calling thread."""
+    """Raised by syscall handlers to park the calling thread.
 
-    def __init__(self, channel: object):
+    ``deadline`` (absolute simulated cycles) arms a timed sleep: when
+    nothing else is runnable and the deadline passes, the scheduler
+    wakes the thread with ``wait_timed_out`` set and the restarted
+    handler returns ETIMEDOUT instead of parking again.
+    """
+
+    def __init__(self, channel: object, *, deadline: int | None = None):
         self.channel = channel
+        self.deadline = deadline
         super().__init__(f"blocked on {channel!r}")
 
 

@@ -56,6 +56,8 @@ class Scheduler:
         self.kernel = kernel
         self.runqueue: deque[Thread] = deque()
         self._blocked: dict[object, list[Thread]] = {}
+        #: tid -> (absolute deadline cycles, thread) for timed sleeps
+        self._deadlines: dict[int, tuple[int, Thread]] = {}
         self._yield_requested: set[int] = set()
         self.switches = 0
 
@@ -63,10 +65,13 @@ class Scheduler:
         thread.state = ThreadState.RUNNABLE
         self.runqueue.append(thread)
 
-    def park(self, thread: Thread, channel: object) -> None:
+    def park(self, thread: Thread, channel: object,
+             deadline: int | None = None) -> None:
         thread.state = ThreadState.BLOCKED
         thread.blocked_on = channel
         self._blocked.setdefault(channel, []).append(thread)
+        if deadline is not None:
+            self._deadlines[thread.tid] = (deadline, thread)
 
     def wake(self, channel: object) -> None:
         """Wake sleepers on a channel (plus all blocked selects)."""
@@ -77,6 +82,7 @@ class Scheduler:
                 if thread.state == ThreadState.BLOCKED:
                     thread.state = ThreadState.RUNNABLE
                     thread.blocked_on = None
+                    self._deadlines.pop(thread.tid, None)
                     self.runqueue.append(thread)
 
     def wake_thread(self, thread: Thread) -> None:
@@ -90,7 +96,51 @@ class Scheduler:
                     del self._blocked[channel]
             thread.state = ThreadState.RUNNABLE
             thread.blocked_on = None
+            self._deadlines.pop(thread.tid, None)
             self.runqueue.append(thread)
+
+    def discard(self, thread: Thread) -> None:
+        """Remove a dying thread from every wait structure.
+
+        Without this, a process killed while blocked leaves its thread
+        in ``_blocked`` forever (a leaked sleeper) and a later ``wake``
+        on the channel touches a reaped thread.
+        """
+        channel = thread.blocked_on
+        if channel is not None:
+            waiters = self._blocked.get(channel)
+            if waiters is not None:
+                if thread in waiters:
+                    waiters.remove(thread)
+                if not waiters:
+                    del self._blocked[channel]
+        thread.blocked_on = None
+        thread.restart_request = None
+        thread.wait_timed_out = False
+        self._deadlines.pop(thread.tid, None)
+        self._yield_requested.discard(thread.tid)
+
+    def _fire_earliest_deadline(self) -> bool:
+        """Nothing runnable: advance time to the earliest timed sleeper.
+
+        Charges the skipped idle cycles as ``timer_wait`` (exact
+        simulated waiting time), flags the thread's wait as timed out,
+        and wakes it so its restarted syscall can return ETIMEDOUT.
+        Ties break on tid for determinism.
+        """
+        if not self._deadlines:
+            return False
+        tid = min(self._deadlines,
+                  key=lambda t: (self._deadlines[t][0], t))
+        deadline, thread = self._deadlines.pop(tid)
+        clock = self.kernel.ctx.clock
+        clock.charge("timer_wait", max(0, deadline - clock.cycles))
+        thread.wait_timed_out = True
+        resilience = self.kernel.machine.resilience
+        if resilience.enabled:
+            resilience.deadline_misses += 1
+        self.wake_thread(thread)
+        return True
 
     def request_yield(self, thread: Thread) -> None:
         self._yield_requested.add(thread.tid)
@@ -105,11 +155,21 @@ class Scheduler:
 
     def run(self, *, until: Callable[[], bool] | None = None,
             max_slices: int = 1_000_000) -> None:
-        """Drive threads until nothing is runnable or ``until()`` is true."""
+        """Drive threads until nothing is runnable or ``until()`` is true.
+
+        When the runqueue drains but timed sleepers remain, simulated
+        time jumps to the earliest deadline and that sleeper is woken
+        with its wait flagged as timed out (there is nothing else the
+        machine could do with those cycles).
+        """
         slices = 0
-        while self.runqueue:
+        while self.runqueue or self._deadlines:
             if until is not None and until():
                 return
+            if not self.runqueue:
+                if not self._fire_earliest_deadline():
+                    return
+                continue
             slices += 1
             if slices > max_slices:
                 raise KernelError("scheduler slice limit exceeded")
@@ -197,6 +257,13 @@ class Kernel:
         self.scheduler = Scheduler(self)
         self.loader = ModuleLoader(self)
         self.swapper = GhostSwapStore(self)
+        #: The machine's resilience engine (NO_RESILIENCE when disabled).
+        self.resilience = machine.resilience
+        #: Process supervisor (restart policies); only with resilience on.
+        self.supervisor = None
+        if self.resilience.enabled:
+            from repro.resilience.supervisor import Supervisor
+            self.supervisor = Supervisor(self, self.resilience)
         #: fd teardown failures survived during process exit (see
         #: terminate_process); also noted in the machine's fault log.
         self.close_failures = 0
@@ -277,6 +344,12 @@ class Kernel:
         metrics.gauge("swap.store.lost", lambda: self.swapper.lost)
         metrics.gauge("swap.store.rejected", lambda: self.swapper.rejected)
         metrics.gauge("swap.store.held", lambda: len(self.swapper))
+        if self.resilience.enabled and self.machine.faults.injects_anything:
+            # Degradation counters are surfaced only when faults can
+            # actually fire: registering them eagerly would grow the
+            # metric snapshots embedded in BENCH_*.json and break the
+            # resilience layer's free-when-idle bit-identity.
+            self.resilience.register_gauges(metrics)
 
     # ==================================================================
     # program installation & process creation
@@ -480,18 +553,26 @@ class Kernel:
         self.vm.trap_enter(thread.tid, TrapKind.SYSCALL, thread.uregs)
 
         try:
-            hook = self.syscall_hooks.get(request.number)
-            if hook is not None and all(isinstance(a, int)
-                                        for a in request.args):
-                module, function = hook
-                result = module.call(function, list(request.args))
-            else:
-                result = syscall_dispatch(self, thread, request.number,
-                                          request.args)
+            try:
+                hook = self.syscall_hooks.get(request.number)
+                if hook is not None and all(isinstance(a, int)
+                                            for a in request.args):
+                    module, function = hook
+                    result = module.call(function, list(request.args))
+                else:
+                    result = syscall_dispatch(self, thread, request.number,
+                                              request.args)
+            finally:
+                # A timed-out wake is consumed by exactly one handler
+                # execution (which either returns ETIMEDOUT or found its
+                # data after all); never leak the flag into a later,
+                # unrelated sleep.
+                thread.wait_timed_out = False
         except WouldBlock as blocked:
             self.vm.trap_exit(thread.tid)
             thread.restart_request = request
-            self.scheduler.park(thread, blocked.channel)
+            self.scheduler.park(thread, blocked.channel,
+                                deadline=blocked.deadline)
             return False
         except ProcessExited as exited:
             self.vm.trap_exit(thread.tid)
@@ -615,6 +696,11 @@ class Kernel:
         self.vmm.destroy_address_space(proc.aspace)
         self.vm.process_exit(proc.pid)
         for thread in proc.threads:
+            # A thread killed while blocked (in a retrying driver, an
+            # ARQ wait, a timed sleep, ...) must leave no sleeper entry
+            # behind: wait queues and deadline tables are scrubbed so no
+            # later wakeup ever touches the reaped thread.
+            self.scheduler.discard(thread)
             thread.state = ThreadState.ZOMBIE
             self.vm.retire_thread(thread.tid)
         # orphan children are re-parented to init (pid of first process)
@@ -625,6 +711,8 @@ class Kernel:
         if proc.ppid == 0:
             self.release_zombie(proc)
             proc.reaped = True
+        if self.supervisor is not None:
+            self.supervisor.on_exit(proc, status)
 
     def release_zombie(self, proc: Process) -> None:
         self.processes.pop(proc.pid, None)

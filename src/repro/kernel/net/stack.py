@@ -23,7 +23,17 @@ class RemotePeer(Protocol):
 
 
 class Connection:
-    """One established stream between the local machine and a peer."""
+    """One established stream between the local machine and a peer.
+
+    In ARQ mode (resilience enabled) every payload travels as one
+    logical frame ``| seq:u32 | ack:u32 | flags:u8 | len:u16 | payload |``
+    whose header rides inside the existing fixed per-packet cost;
+    ``tx_seq``/``rx_seq`` are the stream's frame counters. Delivery is
+    stop-and-wait: a dropped frame is retransmitted after an
+    ``arq_timeout`` charge, a duplicated frame is discarded by sequence
+    number -- so stream contents are exactly-once in order regardless of
+    link faults.
+    """
 
     _next_id = 1
 
@@ -37,6 +47,14 @@ class Connection:
         self.remote_open = True
         #: loopback connections skip the NIC (but still pay copy costs)
         self.via_nic = True
+        #: ARQ frame counters (local transmit / local receive)
+        self.tx_seq = 0
+        self.rx_seq = 0
+        #: receive timeout in simulated cycles (None = block forever);
+        #: settable per-socket via setsockopt(SO_RCVTIMEO)
+        engine = stack.resilience
+        self.recv_timeout_cycles = (engine.config.recv_timeout_cycles
+                                    if engine.enabled else None)
 
     # -- local side (kernel syscalls) ---------------------------------------
 
@@ -46,7 +64,8 @@ class Connection:
         if not self.remote_open:
             raise SyscallError("ECONNRESET", "peer closed")
         if self.via_nic:
-            self.stack.nic.send(data)
+            self.stack.wire_send(data)
+            self.tx_seq += 1
         self.peer.on_data(self, data)
         return len(data)
 
@@ -64,9 +83,10 @@ class Connection:
 
     def peer_send(self, data: bytes) -> None:
         """Peer transmits towards the local machine."""
-        self.stack.nic.deliver(data)
+        self.stack.wire_deliver(data)
         # consume immediately into the connection buffer
         self.stack.nic.receive()
+        self.rx_seq += 1
         self.rx_buffer += data
         self.stack.kernel.scheduler.wake(("socket", id(self)))
 
@@ -146,6 +166,11 @@ class ListenSocket:
         self.port = port
         self.backlog_max = backlog_max
         self.backlog: list[Connection] = []
+        #: accept timeout in simulated cycles (None = block forever);
+        #: settable per-socket via setsockopt(SO_ACCEPTTIMEO)
+        engine = stack.resilience
+        self.accept_timeout_cycles = (engine.config.accept_timeout_cycles
+                                      if engine.enabled else None)
 
     @property
     def readable(self) -> bool:
@@ -162,6 +187,7 @@ class NetworkStack:
     def __init__(self, kernel: "Kernel"):
         self.kernel = kernel
         self.nic = kernel.machine.nic
+        self.resilience = kernel.machine.resilience
         self.wire: _Wire | None = None
         if self.nic.peer is None:
             # default wire: per-connection peer objects model the far
@@ -203,6 +229,70 @@ class NetworkStack:
         }
         stats.update(self.nic.fault_counters)
         return stats
+
+    # -- reliable wire (ARQ) ----------------------------------------------------
+
+    def wire_send(self, payload: bytes) -> None:
+        """Transmit one frame outbound with retransmission on drop.
+
+        With resilience disabled this is exactly ``nic.send`` (the NIC's
+        legacy always-delivers behaviour). With resilience enabled the
+        NIC runs lossy and this stop-and-wait loop owns recovery: each
+        drop charges a retransmit-timer wait (``arq_timeout``) and sends
+        again; duplicates and delays are counted. After the retransmit
+        cap the final copy goes out non-lossy -- the transport never
+        loses acknowledged stream data, it only degrades (accounted,
+        counted) under sustained loss.
+        """
+        engine = self.resilience
+        if not engine.enabled:
+            self.nic.send(payload)
+            return
+        policy = engine.config.arq
+        clock = self.kernel.ctx.clock
+        attempt = 0
+        while True:
+            if attempt >= policy.max_retransmits:
+                engine.arq_exhausted += 1
+                self.nic.send(payload)
+                return
+            kind = self.nic.send(payload, lossy=True)
+            if kind == "dup":
+                engine.arq_dup_discarded += 1
+            elif kind == "delay":
+                engine.arq_delayed += 1
+            if kind != "drop":
+                return
+            attempt += 1
+            engine.arq_retransmits += 1
+            clock.charge("arq_timeout", policy.timeout_units(attempt))
+
+    def wire_deliver(self, payload: bytes) -> None:
+        """Deliver one inbound frame reliably (peer-side retransmits).
+
+        Mirror of :meth:`wire_send` for the receive path: an inbound
+        drop at the ring means the (simulated) far end's retransmit
+        timer fires and the frame arrives again.
+        """
+        engine = self.resilience
+        if not engine.enabled:
+            self.nic.deliver(payload)
+            return
+        policy = engine.config.arq
+        clock = self.kernel.ctx.clock
+        attempt = 0
+        while True:
+            if attempt >= policy.max_retransmits:
+                engine.arq_exhausted += 1
+                self.nic.deliver(payload)
+                return
+            # the rx ring treats every injected fault as a dropped frame
+            kind = self.nic.deliver(payload, lossy=True)
+            if kind is None:
+                return
+            attempt += 1
+            engine.arq_retransmits += 1
+            clock.charge("arq_timeout", policy.timeout_units(attempt))
 
     # -- server side -----------------------------------------------------------
 
@@ -254,17 +344,17 @@ class NetworkStack:
             # accept queue full: the SYN is answered with a RST (one
             # wire round trip), and the peer sees ECONNREFUSED
             self._backlog_overflow.inc()
-            self.nic.deliver(b"")
+            self.wire_deliver(b"")
             self.nic.receive()
-            self.nic.send(b"")
+            self.wire_send(b"")
             raise SyscallError("ECONNREFUSED",
                                f"backlog full on port {port}")
         conn = Connection(self, peer)
         # TCP handshake + (eventual) teardown: SYN, SYN-ACK, ACK, two
         # FINs and an ACK -- six wire events charged up front
-        self.nic.deliver(b"")
+        self.wire_deliver(b"")
         self.nic.receive()
-        self.nic.send(b"")
+        self.wire_send(b"")
         self.kernel.ctx.clock.charge("nic_per_packet", 4)
         listener.backlog.append(conn)
         peer.on_connect(conn)
@@ -312,8 +402,8 @@ class NetworkStack:
             raise SyscallError("ECONNREFUSED", f"{host}:{port}")
         peer = factory()
         conn = Connection(self, peer)
-        self.nic.send(b"")
-        self.nic.deliver(b"")
+        self.wire_send(b"")
+        self.wire_deliver(b"")
         self.nic.receive()
         self.kernel.ctx.clock.charge("nic_per_packet", 4)
         self.kernel.ctx.work(mem=30, ops=50, rets=3)

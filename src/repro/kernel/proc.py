@@ -75,6 +75,9 @@ class Thread:
     restart_request: SyscallRequest | None = None
     #: Wait channel while blocked.
     blocked_on: object = None
+    #: Set by the scheduler when a timed sleep expired; consumed by the
+    #: restarted syscall handler (ETIMEDOUT) and cleared after it runs.
+    wait_timed_out: bool = False
     #: User-visible register file (Interrupt Context source material).
     uregs: RegisterFile = field(default_factory=RegisterFile)
     #: Top (highest address) of this thread's kernel stack.

@@ -57,18 +57,58 @@ class BufferCache:
     block cached and dirty so a later flush can retry it. The fault site
     ``fs.cache`` additionally models transient buffer exhaustion
     (ENOMEM) on cache fills.
+
+    With resilience enabled, device faults and injected transients are
+    first retried under the machine's retry policies (backoff charged as
+    ``retry_backoff`` cycles); only policy exhaustion escalates to the
+    same EIO/ENOMEM the non-resilient cache would raise.
     """
 
     def __init__(self, disk: Disk, ctx: "KernelContext"):
         self.disk = disk
         self.ctx = ctx
         self.faults = ctx.machine.faults
+        self.resilience = ctx.machine.resilience
         self._blocks: dict[int, bytearray] = {}
         self._dirty: set[int] = set()
         self._order: list[int] = []
         self.hits = 0
         self.misses = 0
         self.io_errors = 0
+
+    def _cache_fault(self, detail: str) -> str | None:
+        """Consult the fs.cache fault site, retrying injected transients."""
+        kind = self.faults.decide("fs.cache", detail)
+        if kind is not None and self.resilience.enabled:
+            kind = self.resilience.absorb_transient("fs.cache",
+                                                    self.faults, detail)
+        return kind
+
+    def _read_device(self, block_number: int) -> bytes:
+        start = block_number * _SECTORS_PER_BLOCK
+        try:
+            return self.disk.read_sectors(start, _SECTORS_PER_BLOCK)
+        except DeviceFault as exc:
+            if self.resilience.enabled:
+                return self.resilience.retry_device(
+                    "disk.read",
+                    lambda: self.disk.read_sectors(start,
+                                                   _SECTORS_PER_BLOCK),
+                    exc)
+            raise
+
+    def _write_device(self, block_number: int, payload: bytes) -> None:
+        start = block_number * _SECTORS_PER_BLOCK
+        try:
+            self.disk.write_sectors(start, payload)
+        except DeviceFault as exc:
+            if self.resilience.enabled:
+                # a full-block rewrite heals any torn prefix on the platter
+                self.resilience.retry_device(
+                    "disk.write",
+                    lambda: self.disk.write_sectors(start, payload), exc)
+            else:
+                raise
 
     def get(self, block_number: int) -> bytearray:
         cached = self._blocks.get(block_number)
@@ -77,14 +117,12 @@ class BufferCache:
             self.ctx.work(mem=3, ops=5)
             return cached
         self.misses += 1
-        if self.faults.decide("fs.cache",
-                              f"fill block {block_number}") is not None:
+        if self._cache_fault(f"fill block {block_number}") is not None:
             raise SyscallError("ENOMEM",
                                "buffer cache exhausted (injected)")
         self._evict_if_full()
         try:
-            data = bytearray(self.disk.read_sectors(
-                block_number * _SECTORS_PER_BLOCK, _SECTORS_PER_BLOCK))
+            data = bytearray(self._read_device(block_number))
         except DeviceFault as exc:
             self.io_errors += 1
             raise SyscallError(
@@ -102,8 +140,7 @@ class BufferCache:
         if cached is not None:
             cached[:] = bytes(BLOCK_SIZE)
             return cached
-        if self.faults.decide("fs.cache",
-                              f"create block {block_number}") is not None:
+        if self._cache_fault(f"create block {block_number}") is not None:
             raise SyscallError("ENOMEM",
                                "buffer cache exhausted (injected)")
         self._evict_if_full()
@@ -125,8 +162,8 @@ class BufferCache:
 
     def _writeback(self, block_number: int) -> None:
         try:
-            self.disk.write_sectors(block_number * _SECTORS_PER_BLOCK,
-                                    bytes(self._blocks[block_number]))
+            self._write_device(block_number,
+                               bytes(self._blocks[block_number]))
         except DeviceFault as exc:
             # the block stays cached + dirty: fsync retries will rewrite
             # it whole, healing any torn prefix on the platter
@@ -267,8 +304,17 @@ class SimpleFS:
         self.cache.mark_dirty(block_number)
         self.ctx.work(mem=8, ops=10)
 
+    def _alloc_fault(self, detail: str) -> str | None:
+        """Consult the fs.alloc fault site, retrying injected transients."""
+        cache = self.cache
+        kind = cache.faults.decide("fs.alloc", detail)
+        if kind is not None and cache.resilience.enabled:
+            kind = cache.resilience.absorb_transient("fs.alloc",
+                                                     cache.faults, detail)
+        return kind
+
     def alloc_inode(self, itype: int) -> _Inode:
-        if self.cache.faults.decide("fs.alloc", "inode") is not None:
+        if self._alloc_fault("inode") is not None:
             raise SyscallError("ENOSPC",
                                "inode allocation failed (injected)")
         for step in range(self.num_inodes):
@@ -301,7 +347,7 @@ class SimpleFS:
     # -- block allocation ------------------------------------------------------------
 
     def alloc_block(self) -> int:
-        if self.cache.faults.decide("fs.alloc", "block") is not None:
+        if self._alloc_fault("block") is not None:
             raise SyscallError("ENOSPC",
                                "block allocation failed (injected)")
         span = self.num_blocks - self.data_start

@@ -99,7 +99,13 @@ def sys_read(kernel: "Kernel", thread: "Thread", fd: int, buf_addr: int,
             kernel.scheduler.wake(pipe_write_channel(vnode.pipe))
     elif isinstance(vnode, SocketVnode):
         if not vnode.conn.rx_buffer and not vnode.conn.at_eof:
-            raise WouldBlock(socket_channel(vnode.conn))
+            if thread.wait_timed_out:
+                raise SyscallError("ETIMEDOUT", f"recv on fd {fd}")
+            deadline = None
+            if vnode.conn.recv_timeout_cycles is not None:
+                deadline = (kernel.ctx.clock.cycles
+                            + vnode.conn.recv_timeout_cycles)
+            raise WouldBlock(socket_channel(vnode.conn), deadline=deadline)
         data = vnode.read(0, count)
     else:
         data = vnode.read(open_file.offset, count)

@@ -18,6 +18,11 @@ if TYPE_CHECKING:
     from repro.kernel.kernel import Kernel
     from repro.kernel.proc import Thread
 
+#: setsockopt option names. Timeout values are in simulated cycles;
+#: value 0 clears the timeout (block forever).
+SO_RCVTIMEO = 1
+SO_ACCEPTTIMEO = 2
+
 
 def sys_socket(kernel: "Kernel", thread: "Thread") -> int:
     kernel.ctx.work(mem=12, ops=18)
@@ -43,7 +48,13 @@ def sys_accept(kernel: "Kernel", thread: "Thread", fd: int) -> int:
         raise SyscallError("EINVAL", f"fd {fd} no longer listening")
     conn = kernel.net.accept(listener)
     if conn is None:
-        raise WouldBlock(accept_channel(listener))
+        if thread.wait_timed_out:
+            raise SyscallError("ETIMEDOUT", f"accept on fd {fd}")
+        deadline = None
+        if listener.accept_timeout_cycles is not None:
+            deadline = (kernel.ctx.clock.cycles
+                        + listener.accept_timeout_cycles)
+        raise WouldBlock(accept_channel(listener), deadline=deadline)
     new_fd = thread.proc.alloc_fd(OpenFile(vnode=SocketVnode(conn),
                                            flags=O_RDWR))
     kernel.ctx.work(mem=24, ops=36, rets=2)
@@ -60,3 +71,24 @@ def sys_connect(kernel: "Kernel", thread: "Thread", host: str,
                                        flags=O_RDWR))
     kernel.ctx.work(mem=24, ops=36, rets=2)
     return fd
+
+
+def sys_setsockopt(kernel: "Kernel", thread: "Thread", fd: int,
+                   option: int, value: int) -> int:
+    """Set a per-socket option (receive/accept timeouts, in cycles)."""
+    open_file = thread.proc.fds.get(fd)
+    if open_file is None:
+        raise SyscallError("EBADF", f"fd {fd}")
+    if value < 0:
+        raise SyscallError("EINVAL", f"timeout {value}")
+    timeout = value if value > 0 else None
+    vnode = open_file.vnode
+    if option == SO_RCVTIMEO and isinstance(vnode, SocketVnode):
+        vnode.conn.recv_timeout_cycles = timeout
+    elif option == SO_ACCEPTTIMEO and isinstance(vnode, ListenVnode):
+        vnode.listener.accept_timeout_cycles = timeout
+    else:
+        raise SyscallError("EINVAL",
+                           f"option {option} on fd {fd}")
+    kernel.ctx.work(mem=8, ops=12)
+    return 0

@@ -39,6 +39,7 @@ SYS = {
     "listen": 106,
     "accept": 30,
     "connect": 98,
+    "setsockopt": 105,
     "mkdir": 136,
 }
 
@@ -51,7 +52,7 @@ ERRNO = {
     "EMFILE": 24, "EFBIG": 27, "ENOSPC": 28, "ESPIPE": 29, "EPIPE": 32,
     "ENAMETOOLONG": 63, "ENOSYS": 78, "ENOTEMPTY": 66,
     "EADDRINUSE": 48, "ECONNREFUSED": 61, "ECONNRESET": 54,
-    "EAGAIN": 35,
+    "EAGAIN": 35, "ETIMEDOUT": 60,
 }
 
 ERRNO_NAMES = {number: name for name, number in ERRNO.items()}

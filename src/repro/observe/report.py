@@ -31,6 +31,10 @@ MECHANISM_GROUPS: dict[str, tuple[str, ...]] = {
     "bulk_copy": ("copy_per_word", "copy_call", "zero_page"),
     "devices": ("pio", "disk_seek", "disk_per_sector", "nic_per_packet",
                 "nic_per_byte", "interrupt_delivery"),
+    # Recovery machinery (charged only on fault/timeout paths; zero in
+    # fault-free runs -- the resilience layer is free when idle).
+    "resilience": ("retry_backoff", "arq_timeout", "supervisor_backoff",
+                   "timer_wait"),
     # InkTag-style comparison model (only charged in hypervisor mode).
     "hypervisor_model": ("hv_exit", "hv_shadow_page"),
 }

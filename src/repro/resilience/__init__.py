@@ -1,0 +1,20 @@
+"""Resilience layer: deterministic retry/backoff, reliable transport
+support, socket timeouts, and a process supervisor.
+
+See DESIGN.md ("Resilience") for the mechanism map. Everything here is
+opt-in (``System.create(resilience=...)`` or ``REPRO_RESILIENCE=1``) and
+free when idle: with resilience enabled but no fault firing, cycle
+totals and metric snapshots are bit-identical to a non-resilient run.
+"""
+
+from repro.resilience.engine import (NO_RESILIENCE, ResilienceConfig,
+                                     ResilienceEngine, RetrySite,
+                                     resilience_from_env)
+from repro.resilience.policy import (RESTART_NEVER, RESTART_ON_FAILURE,
+                                     ArqPolicy, RestartPolicy, RetryPolicy)
+from repro.resilience.supervisor import SupervisedService, Supervisor
+
+__all__ = ["RetryPolicy", "ArqPolicy", "RestartPolicy", "RESTART_NEVER",
+           "RESTART_ON_FAILURE", "ResilienceConfig", "ResilienceEngine",
+           "RetrySite", "NO_RESILIENCE", "resilience_from_env",
+           "Supervisor", "SupervisedService"]

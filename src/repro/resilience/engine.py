@@ -1,0 +1,241 @@
+"""The resilience engine: per-site retry state plus degradation counters.
+
+One :class:`ResilienceEngine` lives on a :class:`~repro.hardware.platform.
+Machine` (``machine.resilience``); drivers and the network stack consult
+it on their *failure* paths only. The engine's cardinal invariant is that
+it is free when idle: if no fault fires, no site charges a cycle, rolls a
+stream, or increments a counter, so a resilient fault-free run is
+bit-identical to a non-resilient one. The shared :data:`NO_RESILIENCE`
+singleton (``enabled=False``) stands in wherever resilience was not
+configured, keeping every call site a single attribute check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import DeviceFault
+from repro.resilience.policy import ArqPolicy, RestartPolicy, RetryPolicy
+
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan
+    from repro.hardware.clock import CycleClock
+
+__all__ = ["ResilienceConfig", "ResilienceEngine", "RetrySite",
+           "NO_RESILIENCE", "resilience_from_env"]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tuning for every resilience mechanism (all deterministic).
+
+    ``device_retry`` drives the disk retry loops; ``transient_retry``
+    drives the injected-transient absorb loops (``fs.cache``/``fs.alloc``
+    consultations); ``arq`` the reliable socket transport; ``restart``
+    the default supervisor policy. The socket timeouts default to None
+    (block forever, exactly as the non-resilient kernel does) and are
+    normally set per-socket via ``setsockopt``.
+    """
+
+    device_retry: RetryPolicy = field(default_factory=RetryPolicy)
+    transient_retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_attempts=3, base_units=10,
+                                            max_backoff_units=40))
+    arq: ArqPolicy = field(default_factory=ArqPolicy)
+    restart: RestartPolicy = field(default_factory=RestartPolicy)
+    #: Default receive timeout (simulated cycles) applied to new
+    #: connections; None = block forever.
+    recv_timeout_cycles: int | None = None
+    #: Default accept timeout (simulated cycles) for new listeners.
+    accept_timeout_cycles: int | None = None
+
+
+class RetrySite:
+    """Retry bookkeeping for one named fault site."""
+
+    __slots__ = ("name", "policy", "retries", "absorbed", "exhausted",
+                 "budget_left")
+
+    def __init__(self, name: str, policy: RetryPolicy):
+        self.name = name
+        self.policy = policy
+        self.retries = 0           # individual retry attempts charged
+        self.absorbed = 0          # operations saved by retrying
+        self.exhausted = 0         # operations that escalated anyway
+        self.budget_left = policy.budget
+
+    def _spend(self) -> bool:
+        """Consume one retry from the site budget; False when dry."""
+        if self.budget_left is None:
+            return True
+        if self.budget_left <= 0:
+            return False
+        self.budget_left -= 1
+        return True
+
+
+class ResilienceEngine:
+    """Deterministic retry/ARQ/restart machinery for one machine."""
+
+    enabled = True
+
+    def __init__(self, clock: "CycleClock",
+                 config: ResilienceConfig | None = None):
+        self.clock = clock
+        self.config = config or ResilienceConfig()
+        self._sites: dict[str, RetrySite] = {}
+        # -- ARQ (reliable transport) counters --------------------------
+        self.arq_retransmits = 0
+        self.arq_dup_discarded = 0
+        self.arq_delayed = 0
+        self.arq_exhausted = 0
+        # -- timeout / supervisor counters (bumped by kernel hooks) ------
+        self.deadline_misses = 0
+        self.supervisor_restarts = 0
+        self.supervisor_gave_up = 0
+
+    # ------------------------------------------------------------------
+    # per-site retry
+    # ------------------------------------------------------------------
+
+    def site(self, name: str, policy: RetryPolicy | None = None
+             ) -> RetrySite:
+        """Create-or-get the retry site ``name``."""
+        site = self._sites.get(name)
+        if site is None:
+            if policy is None:
+                policy = (self.config.device_retry
+                          if name.startswith("disk.")
+                          else self.config.transient_retry)
+            site = RetrySite(name, policy)
+            self._sites[name] = site
+        return site
+
+    def retry_device(self, name: str, operation: Callable[[], object],
+                     first_fault: DeviceFault):
+        """Retry a failed device operation under the site's policy.
+
+        Called *after* the first attempt already raised ``first_fault``;
+        each retry charges its backoff as ``retry_backoff`` cycles, then
+        re-runs ``operation``. On success the fault was absorbed; when
+        attempts or budget run out the *original* fault escalates
+        unchanged, so callers' errno translation stays exact.
+        """
+        site = self.site(name)
+        policy = site.policy
+        for attempt in range(1, policy.max_attempts):
+            if not site._spend():
+                break
+            site.retries += 1
+            self.clock.charge("retry_backoff", policy.backoff_units(attempt))
+            try:
+                result = operation()
+            except DeviceFault:
+                continue
+            site.absorbed += 1
+            return result
+        site.exhausted += 1
+        raise first_fault
+
+    def absorb_transient(self, name: str, faults: "FaultPlan",
+                         detail: str = "") -> str | None:
+        """Re-consult a decide()-style site after an injected transient.
+
+        Called after ``faults.decide(name, ...)`` returned a fault kind:
+        models the kernel backing off and re-attempting the allocation.
+        Each retry charges backoff and rolls the site's fault stream once
+        more. Returns None when a retry passed (fault absorbed) or the
+        last fault kind when the policy is exhausted (the caller raises
+        its original errno).
+        """
+        site = self.site(name)
+        policy = site.policy
+        kind: str | None = "transient"
+        for attempt in range(1, policy.max_attempts):
+            if not site._spend():
+                break
+            site.retries += 1
+            self.clock.charge("retry_backoff", policy.backoff_units(attempt))
+            kind = faults.decide(name, f"retry {detail}".strip())
+            if kind is None:
+                site.absorbed += 1
+                return None
+        site.exhausted += 1
+        return kind
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, int]:
+        """Flat, sorted, deterministic counter snapshot."""
+        out = {
+            "arq.retransmits": self.arq_retransmits,
+            "arq.dup_discarded": self.arq_dup_discarded,
+            "arq.delayed": self.arq_delayed,
+            "arq.exhausted": self.arq_exhausted,
+            "timeouts.deadline_misses": self.deadline_misses,
+            "supervisor.restarts": self.supervisor_restarts,
+            "supervisor.gave_up": self.supervisor_gave_up,
+        }
+        for name in sorted(self._sites):
+            site = self._sites[name]
+            out[f"retry.{name}.retries"] = site.retries
+            out[f"retry.{name}.absorbed"] = site.absorbed
+            out[f"retry.{name}.exhausted"] = site.exhausted
+        return dict(sorted(out.items()))
+
+    def register_gauges(self, metrics) -> None:
+        """Expose degradation counters through a metrics registry.
+
+        Only wired up when faults can actually fire (see
+        ``Kernel._register_gauges``): eager registration would grow the
+        metric snapshots embedded in benchmark documents and break the
+        "free when idle" bit-identity guarantee.
+        """
+        metrics.gauge("resilience.arq_retransmits",
+                      lambda: self.arq_retransmits)
+        metrics.gauge("resilience.arq_dup_discarded",
+                      lambda: self.arq_dup_discarded)
+        metrics.gauge("resilience.arq_exhausted",
+                      lambda: self.arq_exhausted)
+        metrics.gauge("resilience.deadline_misses",
+                      lambda: self.deadline_misses)
+        metrics.gauge("resilience.supervisor_restarts",
+                      lambda: self.supervisor_restarts)
+        metrics.gauge("resilience.supervisor_gave_up",
+                      lambda: self.supervisor_gave_up)
+        metrics.gauge("resilience.retries",
+                      lambda: sum(s.retries
+                                  for s in self._sites.values()))
+        metrics.gauge("resilience.retries_absorbed",
+                      lambda: sum(s.absorbed
+                                  for s in self._sites.values()))
+        metrics.gauge("resilience.retries_exhausted",
+                      lambda: sum(s.exhausted
+                                  for s in self._sites.values()))
+
+
+class _NoResilience:
+    """Inert stand-in: one attribute check on every driver fast path."""
+
+    enabled = False
+    config = ResilienceConfig()
+
+    def snapshot(self) -> dict[str, int]:
+        return {}
+
+
+#: Shared inert engine used wherever resilience was not configured.
+NO_RESILIENCE = _NoResilience()
+
+
+def resilience_from_env(environ=None) -> ResilienceConfig | None:
+    """Build a config from ``REPRO_RESILIENCE`` (None when unset/off)."""
+    import os
+    env = os.environ if environ is None else environ
+    raw = env.get("REPRO_RESILIENCE", "").strip().lower()
+    if raw in ("", "0", "off", "false", "no"):
+        return None
+    return ResilienceConfig()

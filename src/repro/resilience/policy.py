@@ -1,0 +1,129 @@
+"""Deterministic resilience policies: retry, ARQ, and restart.
+
+Every policy here is a frozen value object whose decisions are pure
+functions of integers -- attempt numbers in, cycle charges out -- so a
+resilient run is exactly as reproducible as a non-resilient one. Backoff
+is *simulated time*: it is charged to the cycle clock under dedicated
+cost categories (``retry_backoff``, ``arq_timeout``,
+``supervisor_backoff``; see :data:`~repro.observe.report.MECHANISM_GROUPS`'s
+``resilience`` group), never slept on the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "ArqPolicy", "RestartPolicy",
+           "RESTART_NEVER", "RESTART_ON_FAILURE"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff for transient faults.
+
+    ``max_attempts`` counts the *initial* try plus retries (so 1 means
+    "never retry"). ``backoff_units(attempt)`` returns the simulated
+    backoff charged before retry number ``attempt`` (1-based over the
+    retries, i.e. the first retry is attempt 1): an exponential ramp
+    ``base * multiplier**(attempt-1)`` clamped to ``max_backoff_units``.
+    ``budget`` caps the *total* retries a site may spend over the
+    machine's lifetime; once exhausted the site stops retrying and the
+    original error escalates unchanged.
+    """
+
+    max_attempts: int = 4
+    base_units: int = 25
+    multiplier: int = 2
+    max_backoff_units: int = 400
+    budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_units < 1:
+            raise ValueError("base_units must be >= 1")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_backoff_units < self.base_units:
+            raise ValueError("max_backoff_units must be >= base_units")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError("budget must be >= 0")
+
+    def backoff_units(self, attempt: int) -> int:
+        """Backoff (in ``retry_backoff`` cost units) before retry N."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(self.base_units * self.multiplier ** (attempt - 1),
+                   self.max_backoff_units)
+
+    def backoff_schedule(self) -> tuple[int, ...]:
+        """The full deterministic backoff sequence for one operation."""
+        return tuple(self.backoff_units(a)
+                     for a in range(1, self.max_attempts))
+
+
+@dataclass(frozen=True)
+class ArqPolicy:
+    """Stop-and-wait ARQ parameters for the reliable socket transport.
+
+    ``max_retransmits`` bounds recovery for a single frame; each
+    retransmission first charges ``timeout_units(attempt)`` cycles of
+    ``arq_timeout`` (the retransmit timer expiring), doubling per attempt
+    up to ``max_timeout_units`` -- classic binary exponential backoff.
+    """
+
+    max_retransmits: int = 8
+    base_timeout_units: int = 100
+    max_timeout_units: int = 1600
+
+    def __post_init__(self) -> None:
+        if self.max_retransmits < 1:
+            raise ValueError("max_retransmits must be >= 1")
+        if self.base_timeout_units < 1:
+            raise ValueError("base_timeout_units must be >= 1")
+        if self.max_timeout_units < self.base_timeout_units:
+            raise ValueError("max_timeout_units must be >= "
+                             "base_timeout_units")
+
+    def timeout_units(self, attempt: int) -> int:
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(self.base_timeout_units * 2 ** (attempt - 1),
+                   self.max_timeout_units)
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Process-supervisor restart policy.
+
+    ``mode`` is ``"never"`` or ``"on-failure"``; with ``on-failure`` a
+    supervised process that exits non-zero is respawned up to
+    ``max_restarts`` times, charging ``backoff_units(restart_no)`` cycles
+    of ``supervisor_backoff`` before each respawn.
+    """
+
+    mode: str = "on-failure"
+    max_restarts: int = 3
+    base_units: int = 1000
+    multiplier: int = 2
+    max_backoff_units: int = 8000
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("never", "on-failure"):
+            raise ValueError(f"unknown restart mode {self.mode!r}")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.base_units < 1 or self.multiplier < 1:
+            raise ValueError("backoff parameters must be >= 1")
+        if self.max_backoff_units < self.base_units:
+            raise ValueError("max_backoff_units must be >= base_units")
+
+    def backoff_units(self, restart_no: int) -> int:
+        if restart_no < 1:
+            raise ValueError(f"restart_no must be >= 1, got {restart_no}")
+        return min(self.base_units * self.multiplier ** (restart_no - 1),
+                   self.max_backoff_units)
+
+
+RESTART_NEVER = RestartPolicy(mode="never")
+RESTART_ON_FAILURE = RestartPolicy(mode="on-failure")

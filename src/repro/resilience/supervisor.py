@@ -1,0 +1,121 @@
+"""Kernel-level process supervisor: capped, backed-off restarts.
+
+A supervised service (``supervisor.supervise("/bin/thttpd")``) is watched
+through :meth:`~repro.kernel.kernel.Kernel.terminate_process`: when it
+exits non-zero -- typically killed with status 137/139 by an injected
+fault escaping its program -- the supervisor charges a deterministic
+``supervisor_backoff`` delay and respawns the same executable, up to the
+policy's restart cap. Services that exit 0 (or whose policy is
+``never``) are simply forgotten. State transitions::
+
+    supervised --exit 0--> done
+    supervised --exit !=0--> restarting --spawn ok--> supervised
+    restarting --cap/budget/spawn failure--> gave-up
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import SecurityViolation, SyscallError
+from repro.resilience.policy import RestartPolicy
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.proc import Process
+    from repro.resilience.engine import ResilienceEngine
+
+__all__ = ["Supervisor", "SupervisedService"]
+
+
+@dataclass
+class SupervisedService:
+    """One watched executable and its restart accounting."""
+
+    path: str
+    argv: tuple
+    policy: RestartPolicy
+    restarts: int = 0
+    gave_up: bool = False
+    last_status: int | None = None
+    pids: list[int] = field(default_factory=list)
+
+
+class Supervisor:
+    """Watches supervised processes and relaunches them on failure."""
+
+    def __init__(self, kernel: "Kernel", engine: "ResilienceEngine"):
+        self.kernel = kernel
+        self.engine = engine
+        self._by_pid: dict[int, SupervisedService] = {}
+        self.services: list[SupervisedService] = []
+
+    def supervise(self, path: str, *, argv: tuple = (),
+                  policy: RestartPolicy | None = None) -> "Process":
+        """Spawn ``path`` under supervision; returns the live process.
+
+        The initial launch gets the same treatment as a restart: a
+        transient spawn failure (e.g. injected frame-alloc ENOMEM) is
+        retried with backoff up to the restart cap before escalating.
+        """
+        launch_policy = policy or self.engine.config.restart
+        for attempt in range(1, launch_policy.max_restarts + 1):
+            try:
+                proc = self.kernel.spawn(path, argv=argv)
+                break
+            except (SyscallError, SecurityViolation):
+                self.engine.clock.charge(
+                    "supervisor_backoff",
+                    launch_policy.backoff_units(attempt))
+                self.kernel.machine.faults.log.note(
+                    "supervisor.launch_retry", path,
+                    f"launch attempt {attempt} failed")
+        else:
+            proc = self.kernel.spawn(path, argv=argv)
+        service = SupervisedService(
+            path=path, argv=tuple(argv),
+            policy=policy or self.engine.config.restart)
+        service.pids.append(proc.pid)
+        self.services.append(service)
+        self._by_pid[proc.pid] = service
+        return proc
+
+    def current_pid(self, service: SupervisedService) -> int | None:
+        """The service's live pid, or None once it is done/gave up."""
+        for pid, owner in self._by_pid.items():
+            if owner is service:
+                return pid
+        return None
+
+    def on_exit(self, proc: "Process", status: int) -> None:
+        """Kernel hook: a process ended; respawn if policy says so."""
+        service = self._by_pid.pop(proc.pid, None)
+        if service is None:
+            return
+        service.last_status = status
+        if status == 0 or service.policy.mode == "never":
+            return
+        while service.restarts < service.policy.max_restarts:
+            service.restarts += 1
+            self.engine.supervisor_restarts += 1
+            self.engine.clock.charge(
+                "supervisor_backoff",
+                service.policy.backoff_units(service.restarts))
+            try:
+                fresh = self.kernel.spawn(service.path, argv=service.argv)
+            except (SyscallError, SecurityViolation):
+                # transient spawn failure (e.g. injected ENOMEM): the
+                # next loop turn is the backed-off re-attempt
+                continue
+            service.pids.append(fresh.pid)
+            self._by_pid[fresh.pid] = service
+            self.kernel.machine.faults.log.note(
+                "supervisor.restart", service.path,
+                f"restart {service.restarts} after status {status}")
+            return
+        service.gave_up = True
+        self.engine.supervisor_gave_up += 1
+        self.kernel.machine.faults.log.note(
+            "supervisor.gave_up", service.path,
+            f"after {service.restarts} restarts (status {status})")

@@ -23,6 +23,7 @@ from repro.hardware.clock import CostModel, cycles_to_seconds, cycles_to_us
 from repro.hardware.platform import Machine, MachineConfig
 from repro.kernel.kernel import Kernel
 from repro.kernel.proc import Process, Program
+from repro.resilience import ResilienceConfig, resilience_from_env
 from repro.userland.loader import install_program
 
 
@@ -41,7 +42,9 @@ class System:
                serial: bytes = b"vg-machine-0",
                interp_limits: ExecutionLimits | None = None,
                fault_plan: FaultPlan | None = None,
-               observe: bool = False) -> "System":
+               observe: bool = False,
+               resilience: ResilienceConfig | bool | None = None
+               ) -> "System":
         """Assemble and boot a system.
 
         ``interp_limits`` overrides the default
@@ -65,17 +68,35 @@ class System:
         profiler) to the machine; metrics are collected either way.
         Observability never charges simulated cycles, so ``observe``
         does not change ``clock.cycles`` for a given seed.
+
+        ``resilience`` enables the recovery layer (driver retries, the
+        reliable socket transport, socket timeouts, and the process
+        supervisor): ``True`` uses the default
+        :class:`~repro.resilience.ResilienceConfig`, a config instance
+        is used as-is, ``False`` forces it off, and the default ``None``
+        defers to the ``REPRO_RESILIENCE`` environment variable. The
+        layer only acts on fault/timeout paths, so an enabled-but-idle
+        run is bit-identical to a disabled one.
         """
         config = config or VGConfig.virtual_ghost()
         if fault_plan is None:
             fault_plan = plan_from_env()
+        if resilience is None:
+            resilience_config = resilience_from_env()
+        elif resilience is True:
+            resilience_config = ResilienceConfig()
+        elif resilience is False:
+            resilience_config = None
+        else:
+            resilience_config = resilience
         machine = Machine(MachineConfig(
             memory_frames=memory_mb * 256,
             disk_sectors=disk_mb * 2048,
             serial=serial,
             costs=costs,
             faults=fault_plan,
-            observe=observe))
+            observe=observe,
+            resilience=resilience_config))
         machine.faults.disarm()
         try:
             kernel = Kernel(machine, config, interp_limits=interp_limits)
@@ -154,6 +175,18 @@ class System:
     @property
     def fault_log(self) -> FaultLog:
         return self.machine.faults.log
+
+    # -- resilience --------------------------------------------------------------------
+
+    @property
+    def resilience(self):
+        """The machine's resilience engine (NO_RESILIENCE unless enabled)."""
+        return self.machine.resilience
+
+    @property
+    def supervisor(self):
+        """The kernel's process supervisor (None unless resilience on)."""
+        return self.kernel.supervisor
 
     # -- observability -----------------------------------------------------------------
 

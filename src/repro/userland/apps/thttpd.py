@@ -8,6 +8,8 @@ relative to gigabit wire time even for 1 KiB files.
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.kernel.net.stack import Connection
 from repro.kernel.proc import Program
 from repro.userland.libc import O_RDONLY
@@ -97,6 +99,15 @@ class HttpClient:
         self.header_seen = False
         self.done = False
         self._buffer = bytearray()
+        # rolling hash of the body as received, for end-to-end
+        # corruption checks under fault injection (host-side only:
+        # charges no simulated cycles)
+        self._digest = hashlib.sha256()
+
+    @property
+    def body_sha256(self) -> str:
+        """Hex digest of every body byte received so far."""
+        return self._digest.hexdigest()
 
     def on_connect(self, conn: Connection) -> None:
         conn.peer_send(f"GET {self.path} HTTP/1.0\r\n\r\n".encode())
@@ -112,6 +123,7 @@ class HttpClient:
             self._buffer = bytearray(body)
         if self.header_seen:
             self.bytes_received += len(self._buffer)
+            self._digest.update(self._buffer)
             self._buffer.clear()
             if (self.content_length is not None
                     and self.bytes_received >= self.content_length):

@@ -138,6 +138,9 @@ class UserEnv:
     def sys_connect(self, host: str, port: int):
         return (yield from self.syscall("connect", host, port))
 
+    def sys_setsockopt(self, fd: int, option: int, value: int):
+        return (yield from self.syscall("setsockopt", fd, option, value))
+
     def sys_gettimeofday(self):
         return (yield from self.syscall("gettimeofday"))
 

@@ -146,9 +146,11 @@ class PostmarkProgram(Program):
 
 def run_postmark(config, *, transactions: int = 600,
                  memory_mb: int = 128, disk_mb: int = 192,
-                 seed: bytes = b"0", observe: bool = False) -> PostmarkResult:
+                 seed: bytes = b"0", observe: bool = False,
+                 fault_plan=None, resilience=None) -> PostmarkResult:
     system = System.create(config, memory_mb=memory_mb, disk_mb=disk_mb,
-                           observe=observe)
+                           observe=observe, fault_plan=fault_plan,
+                           resilience=resilience)
     program = PostmarkProgram(transactions, seed=seed)
     system.install("/bin/postmark", program)
     proc = system.spawn("/bin/postmark")

@@ -35,8 +35,10 @@ def make_random_file(size: int, seed: bytes = b"webfile") -> bytes:
 
 def run_thttpd_bandwidth(config, *, size: int, requests: int = 12,
                          memory_mb: int = 96, concurrency: int = 100,
-                         observe: bool = False) -> BandwidthPoint:
-    system = System.create(config, memory_mb=memory_mb, observe=observe)
+                         observe: bool = False, fault_plan=None,
+                         resilience=None) -> BandwidthPoint:
+    system = System.create(config, memory_mb=memory_mb, observe=observe,
+                           fault_plan=fault_plan, resilience=resilience)
     filename = f"/www{size}.bin"
     system.write_file(filename, make_random_file(size))
 

@@ -1,0 +1,320 @@
+"""EINTR/restart semantics for every blocking syscall path.
+
+A handled signal delivered to a thread parked in read/accept/wait4 must
+run the handler and then transparently *restart* the syscall (BSD
+semantics -- the interpreter never surfaces EINTR to programs), and a
+process killed while blocked must leave no leaked sleepers, stale
+deadlines, or wakeups aimed at a reaped pid.
+"""
+
+import pytest
+
+from repro.kernel.signals import SIGKILL, SIGUSR1
+from repro.kernel.syscalls.net import SO_RCVTIMEO
+from repro.userland.loader import install_program
+from repro.userland.wrappers import GhostWrappers
+
+from tests.conftest import ScriptProgram, run_script
+
+
+def no_leaked_sleepers(system, proc):
+    """No wait-queue entry, deadline, or runqueue slot holds a thread
+    of ``proc`` after it died."""
+    sched = system.kernel.scheduler
+    dead = {t.tid for t in proc.threads}
+    for waiters in sched._blocked.values():
+        assert all(t.tid not in dead for t in waiters)
+    assert all(tid not in dead for tid in sched._deadlines)
+    assert all(t.tid not in dead for t in sched.runqueue)
+
+
+def park_in(system, body, path="/bin/victim"):
+    """Install + spawn ``body`` and run until it parks."""
+    program = ScriptProgram(body)
+    install_program(system.kernel, path, program)
+    proc = system.spawn(path)
+    system.run(max_slices=20_000)
+    return proc, program
+
+
+# -- restart after a handled signal ---------------------------------------------
+
+def restartable(blocking_tail):
+    """Build a body that installs a SIGUSR1 handler, then blocks."""
+    def body(env, program):
+        program.handled = []
+        wrappers = GhostWrappers(env)
+
+        def handler(env, signum):
+            program.handled.append(signum)
+            return 0
+            yield
+
+        yield from wrappers.signal(SIGUSR1, handler)
+        program.ready = True
+        result = yield from blocking_tail(env, program, wrappers)
+        program.result = result
+        return 0
+    return body
+
+
+def test_pipe_read_restarts_after_handled_signal(native_system):
+    def tail(env, program, wrappers):
+        r, w = yield from env.sys_pipe()
+        program.write_fd = w
+        return (yield from wrappers.read_bytes(r, 4))
+
+    proc, program = park_in(native_system, restartable(tail))
+    assert program.ready
+    native_system.kernel.signals.post(proc, SIGUSR1)
+    native_system.run(max_slices=20_000)
+    assert program.handled == [SIGUSR1]       # handler ran...
+    assert program.result is None     # ...and the read restarted
+
+    # now satisfy the restarted read from a sibling process
+    def feeder(env, feeder_program):
+        heap = env.malloc_init(use_ghost=False)
+        buf = heap.store(b"data")
+        yield from env.sys_write(program.write_fd, buf, 4)
+        return 0
+
+    # the pipe fds live in the victim's fd table; poke the vnode directly
+    from repro.kernel.blocking import pipe_read_channel
+    pipe_end = proc.fds[program.write_fd].vnode
+    pipe_end.write(0, b"data")
+    native_system.kernel.scheduler.wake(pipe_read_channel(pipe_end.pipe))
+    native_system.run_until_exit(proc)
+    assert program.result == b"data"
+    del feeder
+
+
+def test_socket_read_restarts_after_handled_signal(native_system):
+    def tail(env, program, wrappers):
+        listen_fd = yield from env.sys_listen(7300)
+        conn_fd = yield from env.sys_accept(listen_fd)
+        program.accepted = True
+        return (yield from wrappers.read_bytes(conn_fd, 4))
+
+    class Peer:
+        def on_connect(self, conn):
+            self.conn = conn
+
+        def on_data(self, conn, data): pass
+        def on_close(self, conn): pass
+
+    peer = Peer()
+    proc, program = park_in(native_system, restartable(tail))
+    native_system.kernel.net.remote_connect(7300, peer)
+    native_system.run(max_slices=20_000)
+    assert getattr(program, "accepted", False)   # parked in read now
+
+    native_system.kernel.signals.post(proc, SIGUSR1)
+    native_system.run(max_slices=20_000)
+    assert program.handled == [SIGUSR1]
+    assert program.result is None
+
+    peer.conn.peer_send(b"pong")
+    native_system.run_until_exit(proc)
+    assert program.result == b"pong"
+
+
+def test_accept_restarts_after_handled_signal(native_system):
+    def tail(env, program, wrappers):
+        listen_fd = yield from env.sys_listen(7301)
+        conn_fd = yield from env.sys_accept(listen_fd)
+        yield from env.sys_close(conn_fd)
+        return "accepted"
+
+    proc, program = park_in(native_system, restartable(tail))
+    native_system.kernel.signals.post(proc, SIGUSR1)
+    native_system.run(max_slices=20_000)
+    assert program.handled == [SIGUSR1]
+    assert program.result is None     # still parked in accept
+
+    class Quiet:
+        def on_connect(self, conn): pass
+        def on_data(self, conn, data): pass
+        def on_close(self, conn): pass
+
+    native_system.kernel.net.remote_connect(7301, Quiet())
+    native_system.run_until_exit(proc)
+    assert program.result == "accepted"
+
+
+def test_wait4_restarts_after_handled_signal(native_system):
+    def tail(env, program, wrappers):
+        child = yield from env.sys_fork()
+        if child == 0:
+            return 0
+        program.child = child
+        pid, status = yield from env.sys_wait4(child)
+        return (pid, status)
+
+    def child_body(env, program):
+        # park until the parent's signal storm is over
+        heap = env.malloc_init(use_ghost=False)
+        r, _w = yield from env.sys_pipe()
+        buf = heap.malloc(1)
+        yield from env.sys_read(r, buf, 1)
+        return 3
+
+    program = ScriptProgram(restartable(tail), child_body)
+    install_program(native_system.kernel, "/bin/victim", program)
+    proc = native_system.spawn("/bin/victim")
+    native_system.run(max_slices=20_000)
+    assert hasattr(program, "child")
+
+    native_system.kernel.signals.post(proc, SIGUSR1)
+    native_system.run(max_slices=20_000)
+    assert program.handled == [SIGUSR1]
+    assert program.result is None     # wait4 restarted, still parked
+
+    child_proc = native_system.kernel.processes[program.child]
+    native_system.kernel.terminate_process(child_proc, 3)
+    native_system.run_until_exit(proc)
+    assert program.result == (program.child, 3)
+
+
+def test_timed_read_survives_a_signal_without_leaking_the_timeout(
+        native_system):
+    """A handled signal during a timed socket read restarts the read
+    with a fresh deadline; ``wait_timed_out`` must not leak into the
+    restarted syscall and turn it into a spurious ETIMEDOUT."""
+    def tail(env, program, wrappers):
+        listen_fd = yield from env.sys_listen(7302)
+        conn_fd = yield from env.sys_accept(listen_fd)
+        yield from env.sys_setsockopt(conn_fd, SO_RCVTIMEO, 50_000_000)
+        program.reading = True
+        return (yield from wrappers.read_bytes(conn_fd, 4))
+
+    class Peer:
+        def on_connect(self, conn):
+            self.conn = conn
+
+        def on_data(self, conn, data): pass
+        def on_close(self, conn): pass
+
+    peer = Peer()
+    proc, program = park_in(native_system, restartable(tail))
+    native_system.kernel.net.remote_connect(7302, peer)
+    # an idle scheduler time-travels straight to the deadline, so stop
+    # the moment the server parks in the timed read
+    native_system.run(until=lambda: getattr(program, "reading", False),
+                      max_slices=20_000)
+    assert getattr(program, "reading", False)
+
+    native_system.kernel.signals.post(proc, SIGUSR1)
+    native_system.run(until=lambda: bool(program.handled),
+                      max_slices=20_000)
+    assert program.handled == [SIGUSR1]
+    assert program.result is None
+    thread = proc.threads[0]
+    assert thread.wait_timed_out is False
+
+    peer.conn.peer_send(b"fine")
+    native_system.run_until_exit(proc)
+    assert program.result == b"fine"
+
+
+# -- killed while blocked: no leaked sleepers ------------------------------------
+
+@pytest.mark.parametrize("block", ["pipe", "accept", "wait4", "timed"])
+def test_killing_a_blocked_process_leaves_no_sleepers(native_system,
+                                                      block):
+    def pipe_tail(env, program, wrappers):
+        r, _w = yield from env.sys_pipe()
+        return (yield from wrappers.read_bytes(r, 1))
+
+    def accept_tail(env, program, wrappers):
+        listen_fd = yield from env.sys_listen(7303)
+        return (yield from env.sys_accept(listen_fd))
+
+    def wait4_tail(env, program, wrappers):
+        child = yield from env.sys_fork()
+        if child == 0:
+            return 0
+        return (yield from env.sys_wait4(child))
+
+    def timed_tail(env, program, wrappers):
+        listen_fd = yield from env.sys_listen(7304)
+        yield from env.sys_setsockopt(listen_fd, 2, 80_000_000)
+        return (yield from env.sys_accept(listen_fd))
+
+    tails = {"pipe": pipe_tail, "accept": accept_tail,
+             "wait4": wait4_tail, "timed": timed_tail}
+    child_body = None
+    if block == "wait4":
+        def child_body(env, program):   # noqa: F811 - per-param body
+            heap = env.malloc_init(use_ghost=False)
+            r, _w = yield from env.sys_pipe()
+            buf = heap.malloc(1)
+            yield from env.sys_read(r, buf, 1)
+            return 0
+
+    program = ScriptProgram(restartable(tails[block]), child_body)
+    install_program(native_system.kernel, "/bin/victim", program)
+    proc = native_system.spawn("/bin/victim")
+    # stop the moment the victim parks: an idle scheduler would
+    # otherwise time-travel straight to the "timed" variant's deadline
+    native_system.run(
+        until=lambda: proc.threads
+        and proc.threads[0].state.name == "BLOCKED",
+        max_slices=20_000)
+    assert proc.threads[0].state.name == "BLOCKED"
+
+    native_system.kernel.signals.post(proc, SIGKILL)
+    native_system.run(max_slices=20_000)
+    assert proc.is_zombie
+    assert proc.exit_status == 128 + SIGKILL
+    no_leaked_sleepers(native_system, proc)
+    # a later wake on any channel must not resurrect the reaped pid
+    for channel in list(native_system.kernel.scheduler._blocked):
+        native_system.kernel.scheduler.wake(channel)
+    native_system.run(max_slices=20_000)
+    assert proc.is_zombie
+
+
+def test_killed_blocked_process_closes_its_fds(native_system):
+    def tail(env, program, wrappers):
+        r, w = yield from env.sys_pipe()
+        program.fd_count = len(env.proc.fds)
+        return (yield from wrappers.read_bytes(r, 1))
+
+    proc, program = park_in(native_system, restartable(tail))
+    assert program.fd_count >= 2
+    native_system.kernel.signals.post(proc, SIGKILL)
+    native_system.run(max_slices=20_000)
+    assert proc.is_zombie
+    assert proc.fds == {}
+
+
+def test_write_after_peer_close_returns_econnreset(native_system):
+    from repro.kernel.syscalls.table import ERRNO
+
+    def body(env, program):
+        heap = env.malloc_init(use_ghost=False)
+        listen_fd = yield from env.sys_listen(7305)
+        program.ready = True
+        conn_fd = yield from env.sys_accept(listen_fd)
+        program.accepted = True
+        # park briefly so the peer's close lands first
+        buf = heap.store(b"x")
+        yield from env.sys_sched_yield()
+        yield from env.sys_sched_yield()
+        program.result = yield from env.sys_write(conn_fd, buf, 1)
+        return 0
+
+    class Slammer:
+        def on_connect(self, conn):
+            conn.peer_close()
+
+        def on_data(self, conn, data): pass
+        def on_close(self, conn): pass
+
+    program = ScriptProgram(body)
+    install_program(native_system.kernel, "/bin/server", program)
+    proc = native_system.spawn("/bin/server")
+    native_system.run(max_slices=20_000)
+    native_system.kernel.net.remote_connect(7305, Slammer())
+    native_system.run_until_exit(proc)
+    assert program.result == -ERRNO["ECONNRESET"]

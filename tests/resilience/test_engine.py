@@ -1,0 +1,138 @@
+"""ResilienceEngine: absorb/exhaust semantics and cycle conservation."""
+
+import pytest
+
+from repro.errors import DeviceFault
+from repro.faults import FaultPlan, FaultSpec
+from repro.hardware.clock import CycleClock
+from repro.observe.report import MECHANISM_GROUPS
+from repro.resilience import (NO_RESILIENCE, ResilienceConfig,
+                              ResilienceEngine, RetryPolicy)
+
+
+def make_engine(**config_kwargs):
+    return ResilienceEngine(CycleClock(), ResilienceConfig(**config_kwargs))
+
+
+class FlakyOp:
+    """Operation that raises DeviceFault for the first N calls."""
+
+    def __init__(self, failures: int, result=b"data"):
+        self.failures = failures
+        self.calls = 0
+        self.result = result
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise DeviceFault("disk.read", "io_error")
+        return self.result
+
+
+# -- retry_device ---------------------------------------------------------------
+
+def test_retry_absorbs_transient_device_fault():
+    engine = make_engine()
+    op = FlakyOp(failures=1)
+    first = DeviceFault("disk.read", "io_error")
+    assert engine.retry_device("disk.read", op, first) == b"data"
+    site = engine.site("disk.read")
+    assert (site.retries, site.absorbed, site.exhausted) == (2, 1, 0)
+
+
+def test_retry_exhaustion_escalates_the_original_fault():
+    engine = make_engine()
+    op = FlakyOp(failures=99)
+    first = DeviceFault("disk.write", "torn_write")
+    with pytest.raises(DeviceFault) as exc_info:
+        engine.retry_device("disk.write", op, first)
+    # the *original* fault object escalates, so errno translation at the
+    # caller is based on what actually happened first
+    assert exc_info.value is first
+    site = engine.site("disk.write")
+    policy = engine.config.device_retry
+    assert op.calls == policy.max_attempts - 1
+    assert (site.absorbed, site.exhausted) == (0, 1)
+
+
+def test_retry_backoff_cycles_match_the_policy_schedule():
+    engine = make_engine()
+    clock = engine.clock
+    op = FlakyOp(failures=99)
+    first = DeviceFault("disk.read", "io_error")
+    with pytest.raises(DeviceFault):
+        engine.retry_device("disk.read", op, first)
+    schedule = engine.config.device_retry.backoff_schedule()
+    per_unit = clock._cost_table["retry_backoff"]
+    assert clock.cycles_by_kind["retry_backoff"] == \
+        sum(schedule) * per_unit
+    # conservation: everything charged is attributed
+    assert clock.cycles == sum(clock.cycles_by_kind.values())
+
+
+def test_retry_backoff_lands_in_the_resilience_mechanism_group():
+    assert "retry_backoff" in MECHANISM_GROUPS["resilience"]
+    assert "arq_timeout" in MECHANISM_GROUPS["resilience"]
+    assert "supervisor_backoff" in MECHANISM_GROUPS["resilience"]
+    assert "timer_wait" in MECHANISM_GROUPS["resilience"]
+
+
+def test_site_budget_exhaustion_stops_retries():
+    policy = RetryPolicy(max_attempts=4, budget=1)
+    engine = make_engine(device_retry=policy)
+    first = DeviceFault("disk.read", "io_error")
+    op = FlakyOp(failures=99)
+    with pytest.raises(DeviceFault):
+        engine.retry_device("disk.read", op, first)
+    assert op.calls == 1            # only the budgeted retry ran
+    # budget is spent for the site's lifetime: next failure never retries
+    op2 = FlakyOp(failures=99)
+    with pytest.raises(DeviceFault):
+        engine.retry_device("disk.read", op2, first)
+    assert op2.calls == 0
+    assert engine.site("disk.read").exhausted == 2
+
+
+# -- absorb_transient ----------------------------------------------------------
+
+def one_shot_plan(site: str) -> FaultPlan:
+    """A plan whose site fires exactly once, then goes quiet."""
+    return FaultPlan(b"engine-test",
+                     {site: FaultSpec(rate=1.0, max_faults=1)})
+
+
+def test_absorb_transient_clears_after_the_injected_burst():
+    engine = make_engine()
+    plan = one_shot_plan("fs.cache")
+    assert plan.decide("fs.cache", "fill") is not None
+    assert engine.absorb_transient("fs.cache", plan, "fill") is None
+    site = engine.site("fs.cache")
+    assert site.absorbed == 1 and site.exhausted == 0
+
+
+def test_absorb_transient_exhausts_under_sustained_faults():
+    engine = make_engine()
+    plan = FaultPlan(b"engine-test", {"fs.alloc": FaultSpec(rate=1.0)})
+    assert plan.decide("fs.alloc", "inode") is not None
+    kind = engine.absorb_transient("fs.alloc", plan, "inode")
+    assert kind is not None
+    assert engine.site("fs.alloc").exhausted == 1
+
+
+# -- snapshot / inert engine ----------------------------------------------------
+
+def test_snapshot_is_sorted_and_complete():
+    engine = make_engine()
+    engine.arq_retransmits = 3
+    engine.site("disk.read").retries = 2
+    snap = engine.snapshot()
+    assert list(snap) == sorted(snap)
+    assert snap["arq.retransmits"] == 3
+    assert snap["retry.disk.read.retries"] == 2
+
+
+def test_no_resilience_is_inert():
+    assert NO_RESILIENCE.enabled is False
+    assert NO_RESILIENCE.snapshot() == {}
+    # call sites read .config for defaults without special-casing
+    assert NO_RESILIENCE.config.recv_timeout_cycles is None

@@ -1,0 +1,98 @@
+"""Retry/ARQ/restart policy arithmetic: determinism, clamps, validation."""
+
+import pytest
+
+from repro.resilience import (RESTART_NEVER, RESTART_ON_FAILURE, ArqPolicy,
+                              RestartPolicy, RetryPolicy)
+
+
+# -- RetryPolicy ----------------------------------------------------------------
+
+def test_backoff_ramps_exponentially_and_clamps():
+    policy = RetryPolicy(max_attempts=6, base_units=25, multiplier=2,
+                         max_backoff_units=100)
+    assert [policy.backoff_units(a) for a in range(1, 6)] == \
+        [25, 50, 100, 100, 100]
+
+
+def test_backoff_schedule_matches_backoff_units():
+    policy = RetryPolicy()
+    assert policy.backoff_schedule() == tuple(
+        policy.backoff_units(a) for a in range(1, policy.max_attempts))
+    # default: 4 attempts = initial try + 3 retries
+    assert len(policy.backoff_schedule()) == 3
+
+
+def test_backoff_is_deterministic_across_instances():
+    a = RetryPolicy(max_attempts=5, base_units=7, multiplier=3,
+                    max_backoff_units=1000)
+    b = RetryPolicy(max_attempts=5, base_units=7, multiplier=3,
+                    max_backoff_units=1000)
+    assert a.backoff_schedule() == b.backoff_schedule() == (7, 21, 63, 189)
+
+
+def test_backoff_attempt_must_be_positive():
+    with pytest.raises(ValueError):
+        RetryPolicy().backoff_units(0)
+
+
+def test_max_attempts_one_means_never_retry():
+    assert RetryPolicy(max_attempts=1).backoff_schedule() == ()
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_attempts": 0},
+    {"base_units": 0},
+    {"multiplier": 0},
+    {"base_units": 50, "max_backoff_units": 10},
+    {"budget": -1},
+])
+def test_retry_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+# -- ArqPolicy ------------------------------------------------------------------
+
+def test_arq_timeout_doubles_and_clamps():
+    policy = ArqPolicy(max_retransmits=8, base_timeout_units=100,
+                       max_timeout_units=1600)
+    assert [policy.timeout_units(a) for a in range(1, 8)] == \
+        [100, 200, 400, 800, 1600, 1600, 1600]
+    with pytest.raises(ValueError):
+        policy.timeout_units(0)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_retransmits": 0},
+    {"base_timeout_units": 0},
+    {"base_timeout_units": 200, "max_timeout_units": 100},
+])
+def test_arq_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        ArqPolicy(**kwargs)
+
+
+# -- RestartPolicy --------------------------------------------------------------
+
+def test_restart_backoff_ramps_and_clamps():
+    policy = RestartPolicy(max_restarts=5, base_units=1000, multiplier=2,
+                           max_backoff_units=3000)
+    assert [policy.backoff_units(n) for n in range(1, 5)] == \
+        [1000, 2000, 3000, 3000]
+    with pytest.raises(ValueError):
+        policy.backoff_units(0)
+
+
+def test_restart_mode_validation():
+    with pytest.raises(ValueError):
+        RestartPolicy(mode="always")
+    assert RESTART_NEVER.mode == "never"
+    assert RESTART_ON_FAILURE.mode == "on-failure"
+
+
+def test_policies_are_frozen_values():
+    with pytest.raises(Exception):
+        RetryPolicy().max_attempts = 9
+    assert RetryPolicy() == RetryPolicy()
+    assert ArqPolicy() == ArqPolicy()

@@ -1,0 +1,135 @@
+"""Process supervisor: restart on failure, caps, never-mode, exit 0."""
+
+import pytest
+
+from repro.core.config import VGConfig
+from repro.resilience import RESTART_NEVER, RestartPolicy
+from repro.system import System
+
+from tests.conftest import ScriptProgram
+
+
+@pytest.fixture
+def sup_system() -> System:
+    """A virtual-ghost system with the resilience layer (and thus the
+    supervisor) enabled."""
+    return System.create(VGConfig.virtual_ghost(), memory_mb=32,
+                         disk_mb=32, resilience=True)
+
+
+def sleeper(env, program):
+    """Block forever on an empty pipe (a long-lived service)."""
+    fds = yield from env.sys_pipe()
+    buf = env.malloc_init(use_ghost=False).malloc(8)
+    yield from env.sys_read(fds[0], buf, 8)
+    return 0
+
+
+def crasher(env, program):
+    """Exit non-zero immediately (a service that always fails)."""
+    yield from env.sys_getpid()
+    return 7
+
+
+def install(system, body, path="/bin/svc"):
+    system.install(path, ScriptProgram(body))
+    return path
+
+
+def test_killed_service_is_restarted_with_a_fresh_pid(sup_system):
+    path = install(sup_system, sleeper)
+    proc = sup_system.supervisor.supervise(path)
+    sup_system.run(max_slices=50_000)
+    service = sup_system.supervisor.services[0]
+    assert sup_system.supervisor.current_pid(service) == proc.pid
+
+    sup_system.kernel.terminate_process(
+        sup_system.kernel.processes[proc.pid], 137)
+    assert service.restarts == 1
+    new_pid = sup_system.supervisor.current_pid(service)
+    assert new_pid is not None and new_pid != proc.pid
+    assert new_pid in sup_system.kernel.processes
+    assert service.pids == [proc.pid, new_pid]
+    assert not service.gave_up
+
+
+def test_restart_charges_backoff_cycles(sup_system):
+    path = install(sup_system, sleeper)
+    proc = sup_system.supervisor.supervise(path)
+    sup_system.run(max_slices=50_000)
+    clock = sup_system.machine.clock
+    before = clock.cycles_by_kind.get("supervisor_backoff", 0)
+    sup_system.kernel.terminate_process(
+        sup_system.kernel.processes[proc.pid], 137)
+    policy = sup_system.resilience.config.restart
+    per_unit = clock._cost_table["supervisor_backoff"]
+    assert clock.cycles_by_kind["supervisor_backoff"] - before == \
+        policy.backoff_units(1) * per_unit
+
+
+def test_restart_cap_then_gave_up(sup_system):
+    path = install(sup_system, crasher)
+    policy = RestartPolicy(mode="on-failure", max_restarts=2)
+    sup_system.supervisor.supervise(path, policy=policy)
+    service = sup_system.supervisor.services[0]
+    # the crasher exits 7 each time it runs; the supervisor respawns it
+    # until the cap, then gives up
+    sup_system.run(max_slices=500_000)
+    assert service.gave_up
+    assert service.restarts == 2
+    assert service.last_status == 7
+    assert sup_system.supervisor.current_pid(service) is None
+    assert sup_system.resilience.supervisor_gave_up == 1
+    assert len(service.pids) == 3    # original + 2 restarts
+
+
+def test_never_mode_does_not_restart(sup_system):
+    path = install(sup_system, crasher)
+    sup_system.supervisor.supervise(path, policy=RESTART_NEVER)
+    service = sup_system.supervisor.services[0]
+    sup_system.run(max_slices=100_000)
+    assert service.restarts == 0
+    assert not service.gave_up
+    assert service.last_status == 7
+    assert sup_system.supervisor.current_pid(service) is None
+
+
+def test_clean_exit_is_forgotten(sup_system):
+    def clean(env, program):
+        yield from env.sys_getpid()
+        return 0
+
+    path = install(sup_system, clean)
+    sup_system.supervisor.supervise(path)
+    service = sup_system.supervisor.services[0]
+    sup_system.run(max_slices=100_000)
+    assert service.last_status == 0
+    assert service.restarts == 0
+    assert not service.gave_up
+    assert sup_system.supervisor.current_pid(service) is None
+
+
+def test_initial_launch_retries_transient_spawn_failure():
+    from repro.faults import FaultPlan, FaultSpec
+    system = System.create(
+        VGConfig.virtual_ghost(), memory_mb=32, disk_mb=32,
+        resilience=True,
+        fault_plan=FaultPlan(b"launch", {
+            "kernel.frame_alloc": FaultSpec(rate=1.0, max_faults=1)}))
+    path = install(system, sleeper)
+    clock = system.machine.clock
+    proc = system.supervisor.supervise(path)
+    assert proc.pid in system.kernel.processes
+    assert clock.cycles_by_kind["supervisor_backoff"] > 0
+    notes = [r for r in system.fault_plan.log.records
+             if r.site == "supervisor.launch_retry"]
+    assert len(notes) == 1
+
+
+def test_unsupervised_processes_are_ignored(sup_system):
+    path = install(sup_system, crasher)
+    proc = sup_system.spawn(path)
+    status = sup_system.run_until_exit(proc)
+    assert status == 7
+    assert sup_system.supervisor.services == []
+    assert sup_system.resilience.supervisor_restarts == 0

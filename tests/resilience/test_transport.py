@@ -1,0 +1,259 @@
+"""Reliable transport (ARQ), socket timeouts, and the idle-identity
+invariant: with no fault plan the resilience layer must be free."""
+
+import pytest
+
+from repro.core.config import VGConfig
+from repro.faults import FaultPlan, FaultSpec
+from repro.kernel.syscalls.net import SO_ACCEPTTIMEO, SO_RCVTIMEO
+from repro.kernel.syscalls.table import ERRNO
+from repro.system import System
+from repro.userland.wrappers import GhostWrappers
+
+from tests.conftest import ScriptProgram, run_script, write_and_read_file
+
+PAYLOAD = bytes(range(256)) * 32          # 8 KiB, every byte value
+
+
+def make_system(specs=None, *, resilience=True, seed=b"transport"):
+    plan = FaultPlan(seed, specs) if specs else None
+    return System.create(VGConfig.virtual_ghost(), memory_mb=32,
+                         disk_mb=32, fault_plan=plan,
+                         resilience=resilience)
+
+
+class Sink:
+    """Remote peer that records everything it receives."""
+
+    def __init__(self):
+        self.received = bytearray()
+        self.closed = False
+
+    def on_connect(self, conn):
+        self.conn = conn
+
+    def on_data(self, conn, data):
+        self.received += data
+
+    def on_close(self, conn):
+        self.closed = True
+
+
+def serve_payload(env, program):
+    env.malloc_init(use_ghost=False)
+    wrappers = GhostWrappers(env)
+    listen_fd = yield from env.sys_listen(7100)
+    program.ready = True
+    conn_fd = yield from env.sys_accept(listen_fd)
+    yield from wrappers.write_bytes(conn_fd, PAYLOAD)
+    yield from env.sys_close(conn_fd)
+    return 0
+
+
+def run_transfer(system):
+    """Serve PAYLOAD to a remote Sink over the (possibly lossy) NIC."""
+    program = ScriptProgram(serve_payload)
+    system.install("/bin/server", program)
+    proc = system.spawn("/bin/server")
+    system.run(max_slices=20_000)
+    assert getattr(program, "ready", False)
+    sink = Sink()
+    system.kernel.net.remote_connect(7100, sink)
+    status = system.run_until_exit(proc)
+    assert status == 0
+    return sink
+
+
+# -- ARQ ------------------------------------------------------------------------
+
+def test_arq_delivers_exactly_under_tx_drops():
+    system = make_system({"nic.tx": FaultSpec(rate=0.4, kinds=("drop",))})
+    sink = run_transfer(system)
+    assert bytes(sink.received) == PAYLOAD
+    engine = system.resilience
+    assert engine.arq_retransmits > 0
+    assert system.machine.clock.cycles_by_kind["arq_timeout"] > 0
+
+
+def test_arq_discards_duplicates():
+    system = make_system({"nic.tx": FaultSpec(rate=1.0, kinds=("dup",))})
+    sink = run_transfer(system)
+    # every frame was duplicated on the wire; the receiver must still
+    # see the byte stream exactly once
+    assert bytes(sink.received) == PAYLOAD
+    assert system.resilience.arq_dup_discarded > 0
+
+
+def test_arq_survives_rx_ring_drops():
+    system = make_system({"nic.rx": FaultSpec(rate=1.0, max_faults=3)})
+
+    def body(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        listen_fd = yield from env.sys_listen(7100)
+        program.ready = True
+        conn_fd = yield from env.sys_accept(listen_fd)
+        program.result = yield from wrappers.read_bytes(conn_fd,
+                                                        len(PAYLOAD))
+        yield from env.sys_close(conn_fd)
+        return 0
+
+    program = ScriptProgram(body)
+    system.install("/bin/server", program)
+    proc = system.spawn("/bin/server")
+    system.run(max_slices=20_000)
+
+    class Talker:
+        def on_connect(self, conn):
+            conn.peer_send(PAYLOAD)
+
+        def on_data(self, conn, data): pass
+        def on_close(self, conn): pass
+
+    system.kernel.net.remote_connect(7100, Talker())
+    assert system.run_until_exit(proc) == 0
+    assert program.result == PAYLOAD
+    assert system.resilience.arq_retransmits > 0
+
+
+def test_arq_exhaustion_still_delivers():
+    system = make_system({"nic.tx": FaultSpec(rate=1.0, kinds=("drop",))})
+    sink = run_transfer(system)
+    # the wire drops every lossy attempt; after max_retransmits the
+    # transport degrades to a guaranteed final transmission rather than
+    # losing data
+    assert bytes(sink.received) == PAYLOAD
+    assert system.resilience.arq_exhausted > 0
+
+
+def test_without_resilience_nic_faults_are_absorbed_by_the_nic():
+    # back-compat: with the layer off the NIC keeps its pre-existing
+    # reliable behaviour (counted faults, exactly-once delivery)
+    system = make_system({"nic.tx": FaultSpec(rate=0.4)},
+                         resilience=False)
+    sink = run_transfer(system)
+    assert bytes(sink.received) == PAYLOAD
+    assert system.resilience.enabled is False
+
+
+# -- socket timeouts ------------------------------------------------------------
+
+def test_recv_timeout_returns_etimedout():
+    system = make_system()
+
+    def body(env, program):
+        env.malloc_init(use_ghost=False)
+        heap = env.malloc_init(use_ghost=False)
+        listen_fd = yield from env.sys_listen(7200)
+        program.ready = True
+        conn_fd = yield from env.sys_accept(listen_fd)
+        yield from env.sys_setsockopt(conn_fd, SO_RCVTIMEO, 50_000)
+        buf = heap.malloc(16)
+        program.result = yield from env.sys_read(conn_fd, buf, 16)
+        yield from env.sys_close(conn_fd)
+        return 0
+
+    program = ScriptProgram(body)
+    system.install("/bin/server", program)
+    proc = system.spawn("/bin/server")
+    system.run(max_slices=20_000)
+
+    class Silent:
+        def on_connect(self, conn): pass
+        def on_data(self, conn, data): pass
+        def on_close(self, conn): pass
+
+    system.kernel.net.remote_connect(7200, Silent())
+    assert system.run_until_exit(proc) == 0
+    assert program.result == -ERRNO["ETIMEDOUT"]
+    assert system.resilience.deadline_misses == 1
+
+
+def test_recv_timeout_does_not_fire_when_data_arrives():
+    system = make_system()
+
+    def body(env, program):
+        env.malloc_init(use_ghost=False)
+        wrappers = GhostWrappers(env)
+        listen_fd = yield from env.sys_listen(7201)
+        program.ready = True
+        conn_fd = yield from env.sys_accept(listen_fd)
+        yield from env.sys_setsockopt(conn_fd, SO_RCVTIMEO, 10_000_000)
+        program.result = yield from wrappers.read_bytes(conn_fd, 5)
+        yield from env.sys_close(conn_fd)
+        return 0
+
+    program = ScriptProgram(body)
+    system.install("/bin/server", program)
+    proc = system.spawn("/bin/server")
+    system.run(max_slices=20_000)
+
+    class Prompt:
+        def on_connect(self, conn):
+            conn.peer_send(b"hello")
+
+        def on_data(self, conn, data): pass
+        def on_close(self, conn): pass
+
+    system.kernel.net.remote_connect(7201, Prompt())
+    assert system.run_until_exit(proc) == 0
+    assert program.result == b"hello"
+    assert system.resilience.deadline_misses == 0
+
+
+def test_accept_timeout_returns_etimedout():
+    system = make_system()
+
+    def body(env, program):
+        listen_fd = yield from env.sys_listen(7202)
+        yield from env.sys_setsockopt(listen_fd, SO_ACCEPTTIMEO, 50_000)
+        program.result = yield from env.sys_accept(listen_fd)
+        return 0
+
+    _, program = run_script(system, body)
+    assert program.result == -ERRNO["ETIMEDOUT"]
+    assert system.resilience.deadline_misses == 1
+
+
+def test_setsockopt_validates_fd_and_option():
+    system = make_system()
+
+    def body(env, program):
+        listen_fd = yield from env.sys_listen(7203)
+        bad_fd = yield from env.sys_setsockopt(99, SO_RCVTIMEO, 1)
+        bad_opt = yield from env.sys_setsockopt(listen_fd, 42, 1)
+        bad_val = yield from env.sys_setsockopt(listen_fd,
+                                                SO_ACCEPTTIMEO, -5)
+        cleared = yield from env.sys_setsockopt(listen_fd,
+                                                SO_ACCEPTTIMEO, 0)
+        program.result = (bad_fd, bad_opt, bad_val, cleared)
+        return 0
+
+    _, program = run_script(system, body)
+    assert program.result == (-ERRNO["EBADF"], -ERRNO["EINVAL"],
+                              -ERRNO["EINVAL"], 0)
+
+
+# -- idle identity --------------------------------------------------------------
+
+def test_resilience_is_free_when_no_faults_fire():
+    results = {}
+    for enabled in (False, True):
+        system = System.create(VGConfig.virtual_ghost(), memory_mb=32,
+                               disk_mb=32, resilience=enabled)
+        status, program = run_script(system, write_and_read_file)
+        assert status == 0 and program.result == b"hello world"
+        results[enabled] = (system.cycles,
+                            dict(system.machine.clock.cycles_by_kind))
+    assert results[False] == results[True]
+
+
+def test_idle_transfer_is_bit_identical_with_resilience():
+    results = {}
+    for enabled in (False, True):
+        system = make_system(resilience=enabled)
+        sink = run_transfer(system)
+        assert bytes(sink.received) == PAYLOAD
+        results[enabled] = (system.cycles,
+                            dict(system.machine.clock.cycles_by_kind))
+    assert results[False] == results[True]
